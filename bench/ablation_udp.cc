@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation bench (beyond the paper's figures): isolates the contribution
+ * of UDP's design choices called out in DESIGN.md —
+ *  - Seniority-FTQ flush policy (Keep vs the literal DropYounger reading),
+ *  - super-block coalescing (1/2/4-line filters vs 1-line only),
+ *  - confidence threshold sensitivity,
+ *  - prefetch L2-demotion when the fill buffer is busy.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    banner("Ablation", "UDP design-choice ablations (speedup % over FDIP)");
+    RunOptions o = defaultOptions();
+
+    Table t({"app", "udp", "sftq_drop", "no_superblk", "thresh4",
+             "thresh16", "no_demote"});
+    for (const char* name :
+         {"mysql", "clang", "verilator", "xgboost", "mongodb"}) {
+        const Profile& p = profileByName(name);
+        Report base = runSim(p, presets::fdipBaseline(), o, "fdip32");
+        auto pct = [&](const Report& r) {
+            return (r.ipc / base.ipc - 1.0) * 100.0;
+        };
+
+        Report u = runSim(p, presets::udp8k(), o, "udp");
+
+        SimConfig drop = presets::udp8k();
+        drop.udp.seniority.flushPolicy = SftqFlushPolicy::DropYounger;
+        Report rd = runSim(p, drop, o, "drop");
+
+        SimConfig nosb = presets::udp8k();
+        nosb.udp.usefulSet.bits1 = 18 * 1024; // same budget, one filter
+        nosb.udp.usefulSet.bits2 = 64;
+        nosb.udp.usefulSet.bits4 = 64;
+        nosb.udp.usefulSet.coalesceBufferSize = 1;
+        Report rn = runSim(p, nosb, o, "nosb");
+
+        SimConfig t4 = presets::udp8k();
+        t4.udp.confidence.threshold = 4;
+        Report r4 = runSim(p, t4, o, "t4");
+
+        SimConfig t16 = presets::udp8k();
+        t16.udp.confidence.threshold = 16;
+        Report r16 = runSim(p, t16, o, "t16");
+
+        SimConfig nodem = presets::udp8k();
+        nodem.mem.l1iPrefetchDemoteL2 = false;
+        Report rnd = runSim(p, nodem, o, "nodem");
+
+        t.beginRow();
+        t.cell(std::string(name));
+        t.cell(pct(u), 1);
+        t.cell(pct(rd), 1);
+        t.cell(pct(rn), 1);
+        t.cell(pct(r4), 1);
+        t.cell(pct(r16), 1);
+        t.cell(pct(rnd), 1);
+    }
+    std::printf("%s", t.toAscii().c_str());
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries.
+ *
+ * Every binary regenerates one table/figure of the paper and prints the
+ * same rows/series. Instruction counts scale via UDP_BENCH_WARMUP /
+ * UDP_BENCH_INSTR environment variables.
+ */
+
+#ifndef UDP_BENCH_BENCH_UTIL_H
+#define UDP_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+#include "stats/table.h"
+
+namespace udp::bench {
+
+/** Default measurement window (kept modest; scale via env for fidelity). */
+inline RunOptions
+defaultOptions()
+{
+    RunOptions o;
+    o.warmupInstrs = 250'000;
+    o.measureInstrs = 400'000;
+    return envRunOptions(o);
+}
+
+/** FTQ depths used by the Section III sweeps. */
+inline const std::vector<unsigned>&
+sweepDepths()
+{
+    static const std::vector<unsigned> d = {8, 16, 24, 32, 48, 64, 96, 128};
+    return d;
+}
+
+/** Coarser sweep for finding each app's optimal (OPT oracle) depth. */
+inline const std::vector<unsigned>&
+optSearchDepths()
+{
+    static const std::vector<unsigned> d = {8, 16, 24, 32, 48, 64, 96, 128};
+    return d;
+}
+
+/** Finds the best fixed FTQ depth (OPT oracle) for @p profile. */
+inline std::pair<unsigned, Report>
+findOptimalFtq(const Profile& profile, const RunOptions& opts)
+{
+    unsigned best_depth = 32;
+    Report best;
+    bool first = true;
+    for (unsigned d : optSearchDepths()) {
+        Report r = runSim(profile, presets::fdipWithFtq(d), opts,
+                          "ftq" + std::to_string(d));
+        if (first || r.ipc > best.ipc) {
+            best = r;
+            best_depth = d;
+            first = false;
+        }
+    }
+    return {best_depth, best};
+}
+
+/** Prints the standard bench banner. */
+inline void
+banner(const char* figure, const char* what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", figure, what);
+    RunOptions o = defaultOptions();
+    std::printf("warmup=%llu measured=%llu instructions per point "
+                "(override: UDP_BENCH_WARMUP / UDP_BENCH_INSTR)\n",
+                static_cast<unsigned long long>(o.warmupInstrs),
+                static_cast<unsigned long long>(o.measureInstrs));
+    std::printf("==============================================================\n");
+}
+
+} // namespace udp::bench
+
+#endif // UDP_BENCH_BENCH_UTIL_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 1: IPC speedup of a perfect icache over the state-of-the-art
+ * FDIP baseline (FTQ=32) — the headroom motivating UDP.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    banner("Figure 1", "perfect-icache speedup over the FDIP baseline");
+    RunOptions o = defaultOptions();
+
+    Table t({"app", "fdip_ipc", "perfect_ipc", "speedup_pct"});
+    std::vector<double> speedups;
+    for (const Profile& p : datacenterProfiles()) {
+        Report base = runSim(p, presets::fdipBaseline(), o, "fdip32");
+        Report perf = runSim(p, presets::perfectIcache(), o, "perfect");
+        double s = perf.ipc / base.ipc;
+        speedups.push_back(s);
+        t.beginRow();
+        t.cell(p.name);
+        t.cell(base.ipc, 3);
+        t.cell(perf.ipc, 3);
+        t.cell((s - 1.0) * 100.0, 1);
+    }
+    t.beginRow();
+    t.cell(std::string("geomean"));
+    t.cell(std::string("-"));
+    t.cell(std::string("-"));
+    t.cell((geomean(speedups) - 1.0) * 100.0, 1);
+    std::printf("%s", t.toAscii().c_str());
+    return 0;
+}

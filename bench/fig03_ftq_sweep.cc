@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 3: IPC speedup over the FTQ=32 baseline across FTQ depths; the
+ * per-application optimum varies widely (paper: 16..90).
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    banner("Figure 3", "IPC speedup (%) vs FTQ depth, over FTQ=32");
+    RunOptions o = defaultOptions();
+
+    std::vector<std::string> header = {"app"};
+    for (unsigned d : sweepDepths()) {
+        header.push_back("ftq" + std::to_string(d));
+    }
+    header.push_back("opt_depth");
+
+    Table t(header);
+    for (const Profile& p : datacenterProfiles()) {
+        Report base = runSim(p, presets::fdipBaseline(), o, "fdip32");
+        t.beginRow();
+        t.cell(p.name);
+        unsigned best_depth = 32;
+        double best = base.ipc;
+        for (unsigned d : sweepDepths()) {
+            Report r = runSim(p, presets::fdipWithFtq(d), o, "");
+            t.cell((r.ipc / base.ipc - 1.0) * 100.0, 1);
+            if (r.ipc > best) {
+                best = r.ipc;
+                best_depth = d;
+            }
+        }
+        t.cell(std::uint64_t{best_depth});
+    }
+    std::printf("%s", t.toAscii().c_str());
+    return 0;
+}

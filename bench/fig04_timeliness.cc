@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 4: prefetch timeliness — the ratio of demand accesses that found
+ * a prefetched line resident in the icache vs merging with its in-flight
+ * fill (fill buffer / MSHR) — across FTQ depths.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    banner("Figure 4", "timeliness ratio icache/(icache+MSHR) vs FTQ depth");
+    RunOptions o = defaultOptions();
+
+    std::vector<std::string> header = {"app"};
+    for (unsigned d : sweepDepths()) {
+        header.push_back("ftq" + std::to_string(d));
+    }
+
+    Table t(header);
+    for (const Profile& p : datacenterProfiles()) {
+        t.beginRow();
+        t.cell(p.name);
+        for (unsigned d : sweepDepths()) {
+            Report r = runSim(p, presets::fdipWithFtq(d), o, "");
+            t.cell(r.timeliness, 3);
+        }
+    }
+    std::printf("%s", t.toAscii().c_str());
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 5: fraction of emitted prefetches that were on the correct path,
+ * on-path/(on-path + off-path), across FTQ depths. Deeper FTQs emit more
+ * off-path prefetches.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    banner("Figure 5", "on-path/(on+off) emitted prefetch ratio vs FTQ depth");
+    RunOptions o = defaultOptions();
+
+    std::vector<std::string> header = {"app"};
+    for (unsigned d : sweepDepths()) {
+        header.push_back("ftq" + std::to_string(d));
+    }
+
+    Table t(header);
+    for (const Profile& p : datacenterProfiles()) {
+        t.beginRow();
+        t.cell(p.name);
+        for (unsigned d : sweepDepths()) {
+            Report r = runSim(p, presets::fdipWithFtq(d), o, "");
+            t.cell(r.onPathRatio, 3);
+        }
+    }
+    std::printf("%s", t.toAscii().c_str());
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 6: ground-truth prefetch usefulness — useful/(useful+useless),
+ * where useful means hit by an on-path demand access (in the icache or the
+ * fill buffer) and useless means evicted untouched — across FTQ depths.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    banner("Figure 6", "useful/(useful+useless) prefetch ratio vs FTQ depth");
+    RunOptions o = defaultOptions();
+
+    std::vector<std::string> header = {"app"};
+    for (unsigned d : sweepDepths()) {
+        header.push_back("ftq" + std::to_string(d));
+    }
+
+    Table t(header);
+    for (const Profile& p : datacenterProfiles()) {
+        t.beginRow();
+        t.cell(p.name);
+        for (unsigned d : sweepDepths()) {
+            Report r = runSim(p, presets::fdipWithFtq(d), o, "");
+            t.cell(r.usefulness, 3);
+        }
+    }
+    std::printf("%s", t.toAscii().c_str());
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 8: average FTQ occupancy across FTQ sizes. A slope-1 line means
+ * the frontend can run far ahead (few resteers); frequent recoveries act
+ * as natural throttling and flatten the curve.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    banner("Figure 8", "average FTQ occupancy vs FTQ size");
+    RunOptions o = defaultOptions();
+
+    std::vector<std::string> header = {"app"};
+    for (unsigned d : sweepDepths()) {
+        header.push_back("ftq" + std::to_string(d));
+    }
+
+    Table t(header);
+    for (const Profile& p : datacenterProfiles()) {
+        t.beginRow();
+        t.cell(p.name);
+        for (unsigned d : sweepDepths()) {
+            Report r = runSim(p, presets::fdipWithFtq(d), o, "");
+            t.cell(r.avgFtqOccupancy, 1);
+        }
+    }
+    std::printf("%s", t.toAscii().c_str());
+    return 0;
+}

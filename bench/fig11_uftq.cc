@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 11: IPC speedup over the FTQ=32 baseline for the three UFTQ
+ * variants (AUR, ATR, ATR-AUR) and the OPT oracle (best fixed depth).
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    banner("Figure 11", "UFTQ speedup (%) over FTQ=32 baseline");
+    RunOptions o = defaultOptions();
+
+    Table t({"app", "uftq_aur", "uftq_atr", "uftq_atr_aur", "opt",
+             "opt_depth"});
+    std::vector<double> s_aur;
+    std::vector<double> s_atr;
+    std::vector<double> s_combo;
+    std::vector<double> s_opt;
+    for (const Profile& p : datacenterProfiles()) {
+        Report base = runSim(p, presets::fdipBaseline(), o, "fdip32");
+        Report aur = runSim(p, presets::uftq(UftqMode::Aur), o, "aur");
+        Report atr = runSim(p, presets::uftq(UftqMode::Atr), o, "atr");
+        Report combo = runSim(p, presets::uftq(UftqMode::AtrAur), o, "both");
+        auto [depth, opt] = findOptimalFtq(p, o);
+
+        s_aur.push_back(aur.ipc / base.ipc);
+        s_atr.push_back(atr.ipc / base.ipc);
+        s_combo.push_back(combo.ipc / base.ipc);
+        s_opt.push_back(opt.ipc / base.ipc);
+
+        t.beginRow();
+        t.cell(p.name);
+        t.cell((aur.ipc / base.ipc - 1.0) * 100.0, 1);
+        t.cell((atr.ipc / base.ipc - 1.0) * 100.0, 1);
+        t.cell((combo.ipc / base.ipc - 1.0) * 100.0, 1);
+        t.cell((opt.ipc / base.ipc - 1.0) * 100.0, 1);
+        t.cell(std::uint64_t{depth});
+    }
+    t.beginRow();
+    t.cell(std::string("geomean"));
+    t.cell((geomean(s_aur) - 1.0) * 100.0, 1);
+    t.cell((geomean(s_atr) - 1.0) * 100.0, 1);
+    t.cell((geomean(s_combo) - 1.0) * 100.0, 1);
+    t.cell((geomean(s_opt) - 1.0) * 100.0, 1);
+    t.cell(std::string("-"));
+    std::printf("%s", t.toAscii().c_str());
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 12: icache MPKI of the UFTQ variants vs the FTQ=32 baseline and
+ * the OPT oracle.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    banner("Figure 12", "icache MPKI: baseline vs UFTQ variants vs OPT");
+    RunOptions o = defaultOptions();
+
+    Table t({"app", "baseline", "uftq_aur", "uftq_atr", "uftq_atr_aur",
+             "opt"});
+    for (const Profile& p : datacenterProfiles()) {
+        Report base = runSim(p, presets::fdipBaseline(), o, "fdip32");
+        Report aur = runSim(p, presets::uftq(UftqMode::Aur), o, "aur");
+        Report atr = runSim(p, presets::uftq(UftqMode::Atr), o, "atr");
+        Report combo = runSim(p, presets::uftq(UftqMode::AtrAur), o, "both");
+        auto [depth, opt] = findOptimalFtq(p, o);
+        (void)depth;
+
+        t.beginRow();
+        t.cell(p.name);
+        t.cell(base.icacheMpki, 2);
+        t.cell(aur.icacheMpki, 2);
+        t.cell(atr.icacheMpki, 2);
+        t.cell(combo.icacheMpki, 2);
+        t.cell(opt.icacheMpki, 2);
+    }
+    std::printf("%s", t.toAscii().c_str());
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 13: IPC speedup over the FTQ=32 FDIP baseline for UDP (8KB bloom
+ * filters), the infinite-storage useful-set upper bound, and the two
+ * ISO-storage baselines: a 40KiB icache and EIP-8KB.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    banner("Figure 13", "UDP speedup (%) over FDIP baseline vs ISO-storage "
+                        "baselines");
+    RunOptions o = defaultOptions();
+
+    Table t({"app", "udp_8k", "infinite", "icache_40k", "eip_8k"});
+    std::vector<double> s_udp;
+    std::vector<double> s_inf;
+    std::vector<double> s_ic;
+    std::vector<double> s_eip;
+    for (const Profile& p : datacenterProfiles()) {
+        Report base = runSim(p, presets::fdipBaseline(), o, "fdip32");
+        Report u = runSim(p, presets::udp8k(), o, "udp8k");
+        Report inf = runSim(p, presets::udpInfinite(), o, "inf");
+        Report ic = runSim(p, presets::bigIcache40k(), o, "ic40k");
+        Report eip = runSim(p, presets::eip8k(), o, "eip");
+
+        s_udp.push_back(u.ipc / base.ipc);
+        s_inf.push_back(inf.ipc / base.ipc);
+        s_ic.push_back(ic.ipc / base.ipc);
+        s_eip.push_back(eip.ipc / base.ipc);
+
+        t.beginRow();
+        t.cell(p.name);
+        t.cell((u.ipc / base.ipc - 1.0) * 100.0, 1);
+        t.cell((inf.ipc / base.ipc - 1.0) * 100.0, 1);
+        t.cell((ic.ipc / base.ipc - 1.0) * 100.0, 1);
+        t.cell((eip.ipc / base.ipc - 1.0) * 100.0, 1);
+    }
+    t.beginRow();
+    t.cell(std::string("geomean"));
+    t.cell((geomean(s_udp) - 1.0) * 100.0, 1);
+    t.cell((geomean(s_inf) - 1.0) * 100.0, 1);
+    t.cell((geomean(s_ic) - 1.0) * 100.0, 1);
+    t.cell((geomean(s_eip) - 1.0) * 100.0, 1);
+    std::printf("%s", t.toAscii().c_str());
+    return 0;
+}

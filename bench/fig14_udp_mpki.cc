@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 14: icache MPKI of the baseline and the Fig. 13 techniques. The
+ * paper's point: UDP's gain is NOT from fewer misses (MPKI barely moves)
+ * but from more timely fills.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    banner("Figure 14", "icache MPKI across techniques");
+    RunOptions o = defaultOptions();
+
+    Table t({"app", "baseline", "udp_8k", "infinite", "icache_40k",
+             "eip_8k"});
+    for (const Profile& p : datacenterProfiles()) {
+        Report base = runSim(p, presets::fdipBaseline(), o, "fdip32");
+        Report u = runSim(p, presets::udp8k(), o, "udp8k");
+        Report inf = runSim(p, presets::udpInfinite(), o, "inf");
+        Report ic = runSim(p, presets::bigIcache40k(), o, "ic40k");
+        Report eip = runSim(p, presets::eip8k(), o, "eip");
+
+        t.beginRow();
+        t.cell(p.name);
+        t.cell(base.icacheMpki, 2);
+        t.cell(u.icacheMpki, 2);
+        t.cell(inf.icacheMpki, 2);
+        t.cell(ic.icacheMpki, 2);
+        t.cell(eip.icacheMpki, 2);
+    }
+    std::printf("%s", t.toAscii().c_str());
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 15: fetch slots lost to icache-miss stalls (per kilo-instruction)
+ * — proportional to cycles lost to instruction misses. UDP reduces this
+ * through timelier fills even where raw MPKI barely changes.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    banner("Figure 15", "fetch slots lost to icache misses (per kilo-instr)");
+    RunOptions o = defaultOptions();
+
+    Table t({"app", "baseline", "udp_8k", "infinite", "icache_40k",
+             "eip_8k"});
+    for (const Profile& p : datacenterProfiles()) {
+        Report base = runSim(p, presets::fdipBaseline(), o, "fdip32");
+        Report u = runSim(p, presets::udp8k(), o, "udp8k");
+        Report inf = runSim(p, presets::udpInfinite(), o, "inf");
+        Report ic = runSim(p, presets::bigIcache40k(), o, "ic40k");
+        Report eip = runSim(p, presets::eip8k(), o, "eip");
+
+        t.beginRow();
+        t.cell(p.name);
+        t.cell(base.lostInstrPerKilo, 1);
+        t.cell(u.lostInstrPerKilo, 1);
+        t.cell(inf.lostInstrPerKilo, 1);
+        t.cell(ic.lostInstrPerKilo, 1);
+        t.cell(eip.lostInstrPerKilo, 1);
+    }
+    std::printf("%s", t.toAscii().c_str());
+    return 0;
+}

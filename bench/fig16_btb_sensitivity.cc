@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 16: UDP's IPC uplift across BTB sizes (1K..16K entries). The
+ * paper's finding: UDP always helps, and helps more when the BTB is
+ * smaller (more BTB-miss wrong paths to filter).
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    banner("Figure 16", "UDP speedup (%) over same-BTB FDIP, per BTB size");
+    RunOptions o = defaultOptions();
+
+    const std::vector<unsigned> btb_sizes = {1024, 2048, 4096, 8192, 16384};
+
+    std::vector<std::string> header = {"app"};
+    for (unsigned b : btb_sizes) {
+        header.push_back("btb" + std::to_string(b / 1024) + "k");
+    }
+
+    Table t(header);
+    for (const Profile& p : datacenterProfiles()) {
+        t.beginRow();
+        t.cell(p.name);
+        for (unsigned b : btb_sizes) {
+            SimConfig base = presets::fdipBaseline();
+            base.bpu.btb.numEntries = b;
+            SimConfig with_udp = presets::udp8k();
+            with_udp.bpu.btb.numEntries = b;
+            Report rb = runSim(p, base, o, "fdip");
+            Report ru = runSim(p, with_udp, o, "udp");
+            t.cell((ru.ipc / rb.ipc - 1.0) * 100.0, 1);
+        }
+    }
+    std::printf("%s", t.toAscii().c_str());
+    return 0;
+}

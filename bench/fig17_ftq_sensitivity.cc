@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 17: UDP's IPC uplift on top of different fixed FTQ sizes. The
+ * paper's finding: UDP composes with any FTQ depth except for
+ * verilator-like workloads at very deep FTQs (aggressive useful off-path
+ * prefetching fills and flushes the bloom filters).
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    banner("Figure 17", "UDP speedup (%) over same-FTQ FDIP, per FTQ size");
+    RunOptions o = defaultOptions();
+
+    const std::vector<unsigned> ftq_sizes = {16, 32, 48, 64};
+
+    std::vector<std::string> header = {"app"};
+    for (unsigned f : ftq_sizes) {
+        header.push_back("ftq" + std::to_string(f));
+    }
+
+    Table t(header);
+    for (const Profile& p : datacenterProfiles()) {
+        t.beginRow();
+        t.cell(p.name);
+        for (unsigned f : ftq_sizes) {
+            SimConfig base = presets::fdipWithFtq(f);
+            SimConfig with_udp = presets::udp8k();
+            with_udp.ftqCapacity = f;
+            if (f > with_udp.ftqPhysical) {
+                with_udp.ftqPhysical = f;
+            }
+            Report rb = runSim(p, base, o, "fdip");
+            Report ru = runSim(p, with_udp, o, "udp");
+            t.cell((ru.ipc / rb.ipc - 1.0) * 100.0, 1);
+        }
+    }
+    std::printf("%s", t.toAscii().c_str());
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): throughput of the hot
+ * hardware-model structures — Bloom filter lookups, TAGE predictions,
+ * cache accesses, FTQ operations, and whole-simulator cycles/second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/tage.h"
+#include "cache/cache.h"
+#include "common/rng.h"
+#include "core/bloom.h"
+#include "core/useful_set.h"
+#include "sim/runner.h"
+#include "workload/builder.h"
+
+namespace {
+
+using namespace udp;
+
+void
+BM_BloomLookup(benchmark::State& state)
+{
+    BloomFilter f(16 * 1024, 6);
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        f.insert(rng.next());
+    }
+    std::uint64_t key = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.contains(mix64(key++)));
+    }
+}
+BENCHMARK(BM_BloomLookup);
+
+void
+BM_BloomInsert(benchmark::State& state)
+{
+    BloomFilter f(16 * 1024, 6);
+    std::uint64_t key = 1;
+    for (auto _ : state) {
+        f.insert(mix64(key++));
+        if (f.insertions() > 1600) {
+            f.clear();
+        }
+    }
+}
+BENCHMARK(BM_BloomInsert);
+
+void
+BM_UsefulSetLookup(benchmark::State& state)
+{
+    UsefulSet set{UsefulSetConfig{}};
+    Rng rng(11);
+    for (int i = 0; i < 1200; ++i) {
+        set.learn(rng.next() & ~Addr{63});
+    }
+    std::uint64_t key = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(set.lookup(mix64(key++) & ~Addr{63}));
+    }
+}
+BENCHMARK(BM_UsefulSetLookup);
+
+void
+BM_TagePredict(benchmark::State& state)
+{
+    Tage tage{TageConfig{}};
+    std::uint64_t pc = 0x400000;
+    for (auto _ : state) {
+        TagePrediction p = tage.predict(pc);
+        benchmark::DoNotOptimize(p);
+        tage.specUpdateHistory(p.taken, pc);
+        pc += 8;
+    }
+}
+BENCHMARK(BM_TagePredict);
+
+void
+BM_CacheDemandAccess(benchmark::State& state)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 32 * 1024;
+    cfg.assoc = 8;
+    SetAssocCache cache(cfg);
+    Rng rng(3);
+    for (int i = 0; i < 512; ++i) {
+        cache.insert(rng.next() & 0xffff'c0, false);
+    }
+    std::uint64_t key = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.demandAccess(mix64(key++) & 0xffff'c0, true));
+    }
+}
+BENCHMARK(BM_CacheDemandAccess);
+
+void
+BM_SimulatorKiloCycles(benchmark::State& state)
+{
+    const Profile& p = profileByName("mysql");
+    static Program prog = ProgramBuilder::build(p);
+    Cpu cpu(prog, presets::fdipBaseline());
+    for (auto _ : state) {
+        Cycle start = cpu.now();
+        while (cpu.now() - start < 1000) {
+            cpu.cycle();
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(cpu.retired()));
+}
+BENCHMARK(BM_SimulatorKiloCycles)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Example: compare instruction-prefetching configurations on one workload.
+ *
+ * Usage: example_compare_prefetchers [app] [measure_instrs]
+ *   app defaults to "clang"; any of the ten datacenter profiles works.
+ *
+ * Demonstrates the preset configurations (no prefetch, FDIP, UDP, UFTQ,
+ * EIP, perfect icache) and the Report metrics of the public API.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/runner.h"
+#include "stats/table.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace udp;
+
+    std::string app = argc > 1 ? argv[1] : "clang";
+    RunOptions opts;
+    opts.warmupInstrs = 250'000;
+    opts.measureInstrs = argc > 2
+                             ? std::strtoull(argv[2], nullptr, 10)
+                             : 400'000;
+
+    const Profile& prof = profileByName(app);
+
+    struct Entry
+    {
+        const char* name;
+        SimConfig cfg;
+    };
+    const Entry configs[] = {
+        {"no-prefetch", presets::noPrefetch()},
+        {"fdip-32", presets::fdipBaseline()},
+        {"fdip-64", presets::fdipWithFtq(64)},
+        {"uftq-atr-aur", presets::uftq(UftqMode::AtrAur)},
+        {"udp-8k", presets::udp8k()},
+        {"udp-infinite", presets::udpInfinite()},
+        {"eip-8k", presets::eip8k()},
+        {"icache-40k", presets::bigIcache40k()},
+        {"perfect-icache", presets::perfectIcache()},
+    };
+
+    Table t({"config", "ipc", "speedup%", "mpki", "timeliness", "onpath",
+             "useful"});
+    double base_ipc = 0.0;
+    for (const Entry& e : configs) {
+        Report r = runSim(prof, e.cfg, opts, e.name);
+        if (std::string(e.name) == "fdip-32") {
+            base_ipc = r.ipc;
+        }
+        t.beginRow();
+        t.cell(std::string(e.name));
+        t.cell(r.ipc, 3);
+        t.cell(base_ipc > 0 ? (r.ipc / base_ipc - 1.0) * 100.0 : 0.0, 1);
+        t.cell(r.icacheMpki, 2);
+        t.cell(r.timeliness, 2);
+        t.cell(r.onPathRatio, 2);
+        t.cell(r.usefulness, 2);
+    }
+
+    std::printf("workload: %s (code %u KB)\n\n%s", prof.name.c_str(),
+                prof.codeFootprintKB, t.toAscii().c_str());
+    std::printf("\n(speedup%% is relative to fdip-32; rows above it ran "
+                "before the baseline and show 0)\n");
+    return 0;
+}

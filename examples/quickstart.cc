@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Quickstart: build a workload, run the FDIP baseline, print a report.
+ */
+
+#include <cstdio>
+
+#include "sim/runner.h"
+
+int
+main()
+{
+    using namespace udp;
+    const Profile& prof = profileByName("mysql");
+    RunOptions opts;
+    opts.warmupInstrs = 200'000;
+    opts.measureInstrs = 300'000;
+    Report r = runSim(prof, presets::fdipBaseline(), opts, "fdip-baseline");
+    std::printf("%s\n", r.toStatSet().toString().c_str());
+    return 0;
+}

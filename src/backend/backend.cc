@@ -1,0 +1,389 @@
+#include "backend/backend.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+#include "workload/outcome.h"
+
+namespace udp {
+
+Backend::Backend(const Program& prog, TrueStream& strm, MemSystem& m,
+                 Bpu& bp, BranchRecordMap& recs, const BackendConfig& c)
+    : program(prog), stream(strm), mem(m), bpu(bp), records(recs), cfg(c)
+{
+    unissued.reserve(cfg.rsSize + 8);
+}
+
+Backend::RobEntry*
+Backend::entryAt(std::uint64_t pos)
+{
+    if (pos < robBasePos) {
+        return nullptr;
+    }
+    std::uint64_t off = pos - robBasePos;
+    if (off >= rob.size()) {
+        return nullptr;
+    }
+    return &rob[static_cast<std::size_t>(off)];
+}
+
+bool
+Backend::canDispatch(const DecodedInstr& di) const
+{
+    if (rob.size() >= cfg.robSize) {
+        return false;
+    }
+    if (unissued.size() >= cfg.rsSize) {
+        return false;
+    }
+    if (di.type == InstrType::Load && loadsInFlight >= cfg.lqSize) {
+        return false;
+    }
+    if (di.type == InstrType::Store && storesInFlight >= cfg.sqSize) {
+        return false;
+    }
+    return true;
+}
+
+void
+Backend::dispatch(const DecodedInstr& di, Cycle now)
+{
+    (void)now;
+    assert(canDispatch(di));
+    RobEntry e;
+    e.di = di;
+    e.pos = robBasePos + rob.size();
+    rob.push_back(std::move(e));
+    unissued.push_back(rob.back().pos);
+    if (di.type == InstrType::Load) {
+        ++loadsInFlight;
+    } else if (di.type == InstrType::Store) {
+        ++storesInFlight;
+    }
+    ++stats_.dispatched;
+}
+
+void
+Backend::resolveBranch(RobEntry& e)
+{
+    const DecodedInstr& di = e.di;
+    e.resolved = true;
+    ++stats_.branchesResolved;
+
+    Addr pred_next = di.predTaken ? di.predTarget : di.pc + kInstrBytes;
+
+    if (di.onPath) {
+        const ArchInstr& truth = stream.at(di.streamIdx);
+        e.actualTaken = di.kind == BranchKind::CondDirect ? truth.taken
+                                                          : true;
+        e.actualNext = truth.nextPc;
+    } else {
+        // Wrong-path branch: resolve against the stateless wrong-path
+        // oracle so consequent mispredictions re-resteer the wrong path.
+        const Instr& sin = program.instrAt(di.idx);
+        auto rec_it = records.find(di.dynId);
+        std::uint64_t spec_hist =
+            rec_it != records.end() ? rec_it->second.ckpt.hist64 : 0;
+        switch (di.kind) {
+          case BranchKind::CondDirect: {
+            const BranchBehavior& b = program.condBehavior(sin);
+            e.actualTaken =
+                condOutcomeWrongPath(b, spec_hist, di.dynId);
+            e.actualNext = e.actualTaken ? program.pcOf(sin.target)
+                                         : di.pc + kInstrBytes;
+            break;
+          }
+          case BranchKind::IndirectJump:
+          case BranchKind::IndirectCall: {
+            const IndirectBehavior& b = program.indirectBehavior(sin);
+            std::uint32_t choice =
+                indirectChoiceWrongPath(b, spec_hist, di.dynId);
+            e.actualTaken = true;
+            e.actualNext = program.pcOf(program.indirectTarget(b, choice));
+            break;
+          }
+          case BranchKind::Jump:
+          case BranchKind::Call:
+            e.actualTaken = true;
+            e.actualNext = program.pcOf(sin.target);
+            break;
+          case BranchKind::Return:
+            // RAS repairs make wrong-path returns effectively correct.
+            e.actualTaken = true;
+            e.actualNext = pred_next;
+            break;
+          case BranchKind::None:
+            break;
+        }
+    }
+
+    e.mispredicted = pred_next != e.actualNext;
+    if (e.mispredicted) {
+        ++stats_.mispredictsResolved;
+    }
+}
+
+void
+Backend::completeReady(Cycle now)
+{
+    while (!completions.empty() && completions.top().first <= now) {
+        auto [when, pos] = completions.top();
+        completions.pop();
+        RobEntry* e = entryAt(pos);
+        if (!e || !e->issued || e->completed || e->completeAt != when) {
+            continue; // squashed or stale heap entry
+        }
+        e->completed = true;
+        if (e->di.kind != BranchKind::None && !e->resolved) {
+            resolveBranch(*e);
+            if (e->mispredicted) {
+                pendingRecovery.push_back(e->pos);
+            }
+        }
+    }
+}
+
+void
+Backend::squashAfter(std::uint64_t pos)
+{
+    while (!rob.empty() && rob.back().pos > pos) {
+        RobEntry& victim = rob.back();
+        if (victim.di.predictedBranch) {
+            records.erase(victim.di.dynId);
+        }
+        if (victim.di.type == InstrType::Load) {
+            --loadsInFlight;
+        } else if (victim.di.type == InstrType::Store) {
+            --storesInFlight;
+        }
+        ++stats_.squashed;
+        rob.pop_back();
+    }
+    unissued.erase(std::remove_if(unissued.begin(), unissued.end(),
+                                  [pos](std::uint64_t p) { return p > pos; }),
+                   unissued.end());
+}
+
+ResteerRequest
+Backend::handleRecovery(Cycle now)
+{
+    (void)now;
+    ResteerRequest req;
+
+    // Handle the oldest pending recovery (one per cycle, as in hardware).
+    while (!pendingRecovery.empty()) {
+        auto min_it = std::min_element(pendingRecovery.begin(),
+                                       pendingRecovery.end());
+        std::uint64_t pos = *min_it;
+        pendingRecovery.erase(min_it);
+
+        RobEntry* e = entryAt(pos);
+        if (!e || e->di.kind == BranchKind::None || !e->resolved ||
+            !e->mispredicted || e->resteerHandled) {
+            continue; // squashed or stale
+        }
+
+        e->resteerHandled = true;
+        squashAfter(e->pos);
+        // Drop now-squashed recoveries.
+        pendingRecovery.erase(
+            std::remove_if(pendingRecovery.begin(), pendingRecovery.end(),
+                           [p = e->pos](std::uint64_t q) { return q > p; }),
+            pendingRecovery.end());
+
+        auto rec_it = records.find(e->di.dynId);
+        if (rec_it != records.end()) {
+            bpu.recoverTo(rec_it->second.ckpt, e->di.pc,
+                          e->di.kind == BranchKind::CondDirect,
+                          e->actualTaken);
+        }
+
+        req.valid = true;
+        req.newPc = e->actualNext;
+        req.aligned = e->di.onPath;
+        req.nextStreamIdx = e->di.onPath ? e->di.streamIdx + 1 : 0;
+        req.squashAfterDynId = e->di.dynId;
+        req.fromOnPath = e->di.onPath;
+        if (!e->di.onPath) {
+            ++stats_.wrongPathResteers;
+        }
+        return req;
+    }
+    return req;
+}
+
+void
+Backend::retire(Cycle now)
+{
+    (void)now;
+    unsigned budget = cfg.retireWidth;
+    while (budget > 0 && !rob.empty() && rob.front().completed) {
+        RobEntry& e = rob.front();
+        if (e.di.kind != BranchKind::None && e.mispredicted &&
+            !e.resteerHandled) {
+            break; // recovery must run before this branch retires
+        }
+        assert(e.di.onPath && "only architectural-path instructions retire");
+
+        // Train the predictors with the architectural outcome.
+        if (e.di.predictedBranch) {
+            auto rec_it = records.find(e.di.dynId);
+            if (rec_it != records.end()) {
+                const BranchRecord& rec = rec_it->second;
+                switch (e.di.kind) {
+                  case BranchKind::CondDirect:
+                    bpu.trainCond(e.di.pc, rec.cond, e.actualTaken);
+                    break;
+                  case BranchKind::IndirectJump:
+                  case BranchKind::IndirectCall:
+                    bpu.trainIndirect(e.di.pc, rec.indirect, e.actualNext);
+                    // Refresh the BTB's last-target hint.
+                    bpu.btb().insert(e.di.pc, e.di.kind, e.actualNext);
+                    break;
+                  default:
+                    break;
+                }
+                records.erase(rec_it);
+            }
+        }
+
+        // Branches retire with resolution info; non-branches are simple.
+        if (onRetirePc) {
+            onRetirePc(e.di.pc);
+        }
+
+        if (e.di.type == InstrType::Load) {
+            --loadsInFlight;
+        } else if (e.di.type == InstrType::Store) {
+            --storesInFlight;
+        }
+
+        stream.retireBelow(e.di.streamIdx + 1);
+        rob.pop_front();
+        ++robBasePos;
+        ++stats_.retired;
+        --budget;
+    }
+}
+
+void
+Backend::issue(Cycle now)
+{
+    unsigned budget = cfg.issueWidth;
+    unsigned alu = cfg.numAlu;
+    unsigned lds = cfg.numLoad;
+    unsigned sts = cfg.numStore;
+
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < unissued.size(); ++r) {
+        std::uint64_t pos = unissued[r];
+        RobEntry* e = entryAt(pos);
+        if (!e || e->issued) {
+            continue; // squashed/stale
+        }
+        if (budget == 0) {
+            unissued[w++] = pos;
+            continue;
+        }
+
+        // Functional unit availability.
+        unsigned* fu = nullptr;
+        switch (e->di.type) {
+          case InstrType::Alu:
+          case InstrType::Branch:
+            fu = &alu;
+            break;
+          case InstrType::Load:
+            fu = &lds;
+            break;
+          case InstrType::Store:
+            fu = &sts;
+            break;
+        }
+        if (*fu == 0) {
+            unissued[w++] = pos;
+            continue;
+        }
+
+        // Dependence check: producers at pos-dep1 / pos-dep2.
+        bool ready = true;
+        for (unsigned dep : {unsigned{e->di.dep1}, unsigned{e->di.dep2}}) {
+            if (dep == 0) {
+                continue;
+            }
+            if (pos < robBasePos + dep) {
+                continue; // producer already retired
+            }
+            RobEntry* p = entryAt(pos - dep);
+            if (p && !p->completed) {
+                ready = false;
+                break;
+            }
+        }
+        if (!ready) {
+            unissued[w++] = pos;
+            continue;
+        }
+
+        // Issue.
+        e->issued = true;
+        --*fu;
+        --budget;
+        ++stats_.issued;
+
+        Cycle done;
+        switch (e->di.type) {
+          case InstrType::Load: {
+            Addr addr;
+            if (e->di.onPath) {
+                addr = stream.at(e->di.streamIdx).memAddr;
+            } else {
+                const Instr& sin = program.instrAt(e->di.idx);
+                addr = memAddress(program.memPattern(sin),
+                                  mix64(e->di.dynId));
+            }
+            done = mem.dload(addr, now, e->di.onPath);
+            break;
+          }
+          case InstrType::Store: {
+            Addr addr;
+            if (e->di.onPath) {
+                addr = stream.at(e->di.streamIdx).memAddr;
+            } else {
+                const Instr& sin = program.instrAt(e->di.idx);
+                addr = memAddress(program.memPattern(sin),
+                                  mix64(e->di.dynId ^ 0x5151));
+            }
+            mem.dstore(addr, now);
+            done = now + 1;
+            break;
+          }
+          case InstrType::Branch:
+            done = now + cfg.branchExecLat;
+            break;
+          case InstrType::Alu:
+          default:
+            done = now + e->di.execLat;
+            break;
+        }
+        e->completeAt = done;
+        completions.emplace(done, pos);
+    }
+    unissued.resize(w);
+}
+
+ResteerRequest
+Backend::tick(Cycle now)
+{
+    completeReady(now);
+    ResteerRequest req = handleRecovery(now);
+    retire(now);
+    issue(now);
+    if (rob.size() >= cfg.robSize) {
+        ++stats_.robFullStalls;
+    }
+    return req;
+}
+
+} // namespace udp

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The out-of-order backend: ROB / unified RS / LSQ with dependence-driven
+ * wakeup, functional-unit constraints, branch resolution (including
+ * wrong-path branches, which can re-resteer the wrong path — Scarab's
+ * "multiple consequent mispredictions"), recovery, and in-order retirement
+ * that trains the predictors and feeds UDP's Seniority-FTQ.
+ */
+
+#ifndef UDP_BACKEND_BACKEND_H
+#define UDP_BACKEND_BACKEND_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "bpred/bpu.h"
+#include "cache/memsys.h"
+#include "common/types.h"
+#include "frontend/fetch.h"
+#include "frontend/records.h"
+#include "workload/program.h"
+#include "workload/true_stream.h"
+
+namespace udp {
+
+/** Backend configuration (Table II). */
+struct BackendConfig
+{
+    unsigned robSize = 352;
+    unsigned rsSize = 125;
+    unsigned lqSize = 64;
+    unsigned sqSize = 64;
+    unsigned dispatchWidth = 6;
+    unsigned issueWidth = 6;
+    unsigned retireWidth = 6;
+    unsigned numAlu = 4;
+    unsigned numLoad = 2;
+    unsigned numStore = 2;
+    /** Issue-to-resolution latency of a branch. */
+    Cycle branchExecLat = 2;
+};
+
+/** A resteer demand raised by branch resolution. */
+struct ResteerRequest
+{
+    bool valid = false;
+    Addr newPc = kInvalidAddr;
+    bool aligned = false;
+    std::uint64_t nextStreamIdx = 0;
+    /** dynId of the resolving branch (squash-younger boundary). */
+    std::uint64_t squashAfterDynId = 0;
+    /** The resolving branch was on the architectural path. */
+    bool fromOnPath = false;
+};
+
+/** Backend statistics. */
+struct BackendStats
+{
+    std::uint64_t retired = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t squashed = 0;
+    std::uint64_t branchesResolved = 0;
+    std::uint64_t mispredictsResolved = 0;
+    std::uint64_t wrongPathResteers = 0;
+    std::uint64_t robFullStalls = 0;
+};
+
+/** The backend pipeline. */
+class Backend
+{
+  public:
+    Backend(const Program& prog, TrueStream& stream, MemSystem& mem,
+            Bpu& bpu, BranchRecordMap& records, const BackendConfig& cfg);
+
+    /** Room for one more instruction of this type? */
+    bool canDispatch(const DecodedInstr& di) const;
+
+    /** Accepts an instruction from the decode queue. */
+    void dispatch(const DecodedInstr& di, Cycle now);
+
+    /**
+     * One backend cycle: completion/resolution, recovery selection,
+     * retirement, then issue. Returns a resteer request when the oldest
+     * mispredicted branch resolved this cycle.
+     */
+    ResteerRequest tick(Cycle now);
+
+    std::uint64_t retired() const { return stats_.retired; }
+    std::size_t robOccupancy() const { return rob.size(); }
+
+    /** Hook: invoked with the pc of every retired instruction. */
+    std::function<void(Addr)> onRetirePc;
+
+    const BackendStats& stats() const { return stats_; }
+    void clearStats() { stats_ = BackendStats(); }
+
+  private:
+    struct RobEntry
+    {
+        DecodedInstr di;
+        std::uint64_t pos = 0; ///< dense dispatch position
+        bool issued = false;
+        bool completed = false;
+        bool resolved = false;
+        bool resteerHandled = false;
+        bool mispredicted = false;
+        bool actualTaken = false;
+        Addr actualNext = kInvalidAddr;
+        Cycle completeAt = kInvalidCycle;
+    };
+
+    RobEntry* entryAt(std::uint64_t pos);
+
+    /** Resolves the branch in @p e (fills actual outcome/mispredict). */
+    void resolveBranch(RobEntry& e);
+
+    /** Squashes all entries younger than @p pos. */
+    void squashAfter(std::uint64_t pos);
+
+    void completeReady(Cycle now);
+    ResteerRequest handleRecovery(Cycle now);
+    void retire(Cycle now);
+    void issue(Cycle now);
+
+    const Program& program;
+    TrueStream& stream;
+    MemSystem& mem;
+    Bpu& bpu;
+    BranchRecordMap& records;
+    BackendConfig cfg;
+
+    std::deque<RobEntry> rob;
+    std::uint64_t robBasePos = 0; ///< pos of rob.front()
+    std::vector<std::uint64_t> unissued; ///< positions, oldest first
+
+    /** (completeAt, pos) min-heap of scheduled completions. */
+    using Completion = std::pair<Cycle, std::uint64_t>;
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>>
+        completions;
+
+    /** Positions of resolved-mispredicted branches awaiting recovery. */
+    std::vector<std::uint64_t> pendingRecovery;
+
+    unsigned loadsInFlight = 0;
+    unsigned storesInFlight = 0;
+
+    BackendStats stats_;
+};
+
+} // namespace udp
+
+#endif // UDP_BACKEND_BACKEND_H

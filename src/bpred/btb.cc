@@ -1,0 +1,103 @@
+#include "bpred/btb.h"
+
+#include <cassert>
+
+#include "common/intmath.h"
+
+namespace udp {
+
+Btb::Btb(const BtbConfig& c) : cfg(c)
+{
+    assert(cfg.assoc >= 1);
+    numSets = cfg.numEntries / cfg.assoc;
+    assert(isPowerOf2(numSets));
+    ways.resize(numSets * cfg.assoc);
+}
+
+std::size_t
+Btb::setOf(Addr pc) const
+{
+    return static_cast<std::size_t>((pc >> 2) & (numSets - 1));
+}
+
+Addr
+Btb::tagOf(Addr pc) const
+{
+    return (pc >> 2) / numSets;
+}
+
+const BtbEntry*
+Btb::lookup(Addr pc)
+{
+    ++stats_.lookups;
+    std::size_t base = setOf(pc) * cfg.assoc;
+    Addr tag = tagOf(pc);
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Way& way = ways[base + w];
+        if (way.valid && way.tag == tag) {
+            way.lru = ++lruClock;
+            ++stats_.hits;
+            return &way.entry;
+        }
+    }
+    return nullptr;
+}
+
+const BtbEntry*
+Btb::probe(Addr pc) const
+{
+    std::size_t base = setOf(pc) * cfg.assoc;
+    Addr tag = tagOf(pc);
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        const Way& way = ways[base + w];
+        if (way.valid && way.tag == tag) {
+            return &way.entry;
+        }
+    }
+    return nullptr;
+}
+
+void
+Btb::insert(Addr pc, BranchKind kind, Addr target)
+{
+    std::size_t base = setOf(pc) * cfg.assoc;
+    Addr tag = tagOf(pc);
+
+    Way* victim = nullptr;
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Way& way = ways[base + w];
+        if (way.valid && way.tag == tag) {
+            way.entry.kind = kind;
+            way.entry.target = target;
+            way.lru = ++lruClock;
+            return;
+        }
+        if (!way.valid) {
+            if (!victim || victim->valid) {
+                victim = &way;
+            }
+        } else if (!victim || (victim->valid && way.lru < victim->lru)) {
+            victim = &way;
+        }
+    }
+
+    assert(victim);
+    if (victim->valid) {
+        ++stats_.evictions;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->entry.kind = kind;
+    victim->entry.target = target;
+    victim->lru = ++lruClock;
+    ++stats_.inserts;
+}
+
+std::uint64_t
+Btb::storageBits() const
+{
+    // tag(~40) + target(~32 compressed) + kind(3) + lru(~3) per entry.
+    return std::uint64_t{cfg.numEntries} * (40 + 32 + 3 + 3);
+}
+
+} // namespace udp

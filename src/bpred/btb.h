@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Branch Target Buffer: set-associative, fully tagged, LRU. The decoupled
+ * frontend discovers branches through the BTB; a BTB miss makes the
+ * frontend run past a taken branch onto the sequential (wrong) path until
+ * post-fetch correction or branch resolution.
+ */
+
+#ifndef UDP_BPRED_BTB_H
+#define UDP_BPRED_BTB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/isa.h"
+
+namespace udp {
+
+/** One BTB entry as seen by the frontend. */
+struct BtbEntry
+{
+    BranchKind kind = BranchKind::None;
+    Addr target = kInvalidAddr; ///< direct target; hint for indirect
+};
+
+/** Configuration. */
+struct BtbConfig
+{
+    unsigned numEntries = 8192; ///< total entries
+    unsigned assoc = 8;
+};
+
+/** Statistics. */
+struct BtbStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+};
+
+/** Set-associative BTB with true-LRU replacement. */
+class Btb
+{
+  public:
+    explicit Btb(const BtbConfig& cfg);
+
+    /** Looks up the branch at @p pc; nullptr on miss. Updates LRU on hit. */
+    const BtbEntry* lookup(Addr pc);
+
+    /** Probe without LRU/stat side effects (for tests/oracles). */
+    const BtbEntry* probe(Addr pc) const;
+
+    /** Inserts or updates the entry for @p pc. */
+    void insert(Addr pc, BranchKind kind, Addr target);
+
+    const BtbStats& stats() const { return stats_; }
+    void clearStats() { stats_ = BtbStats(); }
+
+    std::uint64_t storageBits() const;
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Addr tag = 0;
+        BtbEntry entry;
+        std::uint64_t lru = 0;
+    };
+
+    std::size_t setOf(Addr pc) const;
+    Addr tagOf(Addr pc) const;
+
+    BtbConfig cfg;
+    std::size_t numSets;
+    std::vector<Way> ways; ///< numSets * assoc, row-major
+    std::uint64_t lruClock = 0;
+    BtbStats stats_;
+};
+
+} // namespace udp
+
+#endif // UDP_BPRED_BTB_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Global branch history storage with O(1) checkpoint/restore.
+ *
+ * The history is an append-only circular bit buffer; speculative updates
+ * push bits at the head, and recovery simply rewinds the head position.
+ * TAGE's folded (compressed) histories are maintained incrementally and
+ * snapshotted into prediction checkpoints.
+ */
+
+#ifndef UDP_BPRED_HISTORY_H
+#define UDP_BPRED_HISTORY_H
+
+#include <cstdint>
+#include <vector>
+
+namespace udp {
+
+/** Circular global history bit buffer. */
+class GlobalHistory
+{
+  public:
+    explicit GlobalHistory(std::size_t capacity_bits = 1 << 16)
+        : buf(capacity_bits, 0)
+    {
+    }
+
+    /** Appends the newest outcome bit. */
+    void
+    push(bool bit)
+    {
+        head = (head + 1) % buf.size();
+        buf[head] = bit ? 1 : 0;
+    }
+
+    /** Outcome @p age steps in the past (0 = most recent). */
+    bool
+    bit(std::size_t age) const
+    {
+        return buf[(head + buf.size() - (age % buf.size())) % buf.size()] != 0;
+    }
+
+    /** Packs the most recent @p n bits (n <= 64), bit 0 = newest. */
+    std::uint64_t
+    recent(unsigned n) const
+    {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < n && i < 64; ++i) {
+            v |= std::uint64_t{bit(i) ? 1u : 0u} << i;
+        }
+        return v;
+    }
+
+    std::uint64_t position() const { return head; }
+
+    /** Rewinds (or replays) to a previously captured position. */
+    void setPosition(std::uint64_t pos) { head = pos % buf.size(); }
+
+    std::size_t capacity() const { return buf.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf;
+    std::uint64_t head = 0;
+};
+
+/**
+ * A folded (CSR) history register of @p width bits compressing the last
+ * @p length outcome bits, maintained incrementally (Seznec's scheme).
+ */
+struct FoldedHistory
+{
+    std::uint32_t comp = 0;
+    std::uint16_t length = 0;
+    std::uint16_t width = 1;
+
+    void
+    configure(unsigned hist_len, unsigned fold_width)
+    {
+        length = static_cast<std::uint16_t>(hist_len);
+        width = static_cast<std::uint16_t>(fold_width ? fold_width : 1);
+        comp = 0;
+    }
+
+    /**
+     * Incremental update after GlobalHistory::push: @p new_bit is the bit
+     * just inserted, @p old_bit the bit that left the length-window.
+     */
+    void
+    update(bool new_bit, bool old_bit)
+    {
+        comp = (comp << 1) | (new_bit ? 1u : 0u);
+        comp ^= (old_bit ? 1u : 0u) << (length % width);
+        comp ^= comp >> width;
+        comp &= (1u << width) - 1;
+    }
+};
+
+} // namespace udp
+
+#endif // UDP_BPRED_HISTORY_H

@@ -1,0 +1,118 @@
+#include "bpred/ibtb.h"
+
+#include <cassert>
+
+#include "common/intmath.h"
+#include "common/rng.h"
+
+namespace udp {
+
+Ibtb::Ibtb(const IbtbConfig& c) : cfg(c)
+{
+    assert(isPowerOf2(cfg.baseEntries));
+    assert(isPowerOf2(cfg.taggedEntries));
+    assert(cfg.numTagged <= 4);
+    base.assign(cfg.baseEntries, kInvalidAddr);
+    tagged.assign(cfg.numTagged,
+                  std::vector<TaggedEntry>(cfg.taggedEntries));
+}
+
+std::uint32_t
+Ibtb::taggedIndex(Addr pc, std::uint64_t hist, unsigned t) const
+{
+    std::uint64_t mask = cfg.histBits[t] >= 64
+                             ? ~0ULL
+                             : ((1ULL << cfg.histBits[t]) - 1);
+    std::uint64_t h = hashCombine(pc >> 2, hist & mask, 0xb0b0 + t);
+    return static_cast<std::uint32_t>(h & (cfg.taggedEntries - 1));
+}
+
+std::uint16_t
+Ibtb::taggedTag(Addr pc, std::uint64_t hist, unsigned t) const
+{
+    std::uint64_t mask = cfg.histBits[t] >= 64
+                             ? ~0ULL
+                             : ((1ULL << cfg.histBits[t]) - 1);
+    std::uint64_t h = hashCombine(pc >> 2, hist & mask, 0xc1c1 + t);
+    return static_cast<std::uint16_t>((h >> 13) & ((1u << cfg.tagBits) - 1));
+}
+
+IbtbPrediction
+Ibtb::predict(Addr pc, std::uint64_t hist) const
+{
+    ++stats_.lookups;
+    IbtbPrediction p;
+    p.baseIndex =
+        static_cast<std::uint32_t>((pc >> 2) & (cfg.baseEntries - 1));
+
+    for (unsigned t = 0; t < cfg.numTagged; ++t) {
+        p.index[t] = taggedIndex(pc, hist, t);
+        p.tag[t] = taggedTag(pc, hist, t);
+    }
+    // Longest-history match wins.
+    for (int t = static_cast<int>(cfg.numTagged) - 1; t >= 0; --t) {
+        const TaggedEntry& e = tagged[t][p.index[t]];
+        if (e.valid && e.tag == p.tag[t]) {
+            p.provider = t;
+            p.target = e.target;
+            return p;
+        }
+    }
+    p.target = base[p.baseIndex];
+    return p;
+}
+
+void
+Ibtb::update(Addr pc, const IbtbPrediction& p, Addr actual)
+{
+    (void)pc;
+    const bool correct = p.target == actual;
+    if (!correct) {
+        ++stats_.mispredicts;
+    }
+
+    if (p.provider >= 0) {
+        TaggedEntry& e = tagged[p.provider][p.index[p.provider]];
+        if (correct) {
+            if (e.conf < 3) {
+                ++e.conf;
+            }
+        } else {
+            if (e.conf > 0) {
+                --e.conf;
+            } else {
+                e.target = actual;
+            }
+        }
+    }
+
+    // Base table always tracks the latest target.
+    base[p.baseIndex] = actual;
+
+    // Allocate a longer-history entry on a misprediction.
+    if (!correct) {
+        for (unsigned t = p.provider < 0 ? 0 : p.provider + 1;
+             t < cfg.numTagged; ++t) {
+            TaggedEntry& e = tagged[t][p.index[t]];
+            if (!e.valid || e.conf == 0) {
+                e.valid = true;
+                e.tag = p.tag[t];
+                e.target = actual;
+                e.conf = 1;
+                break;
+            }
+            --e.conf;
+        }
+    }
+}
+
+std::uint64_t
+Ibtb::storageBits() const
+{
+    std::uint64_t bits = std::uint64_t{cfg.baseEntries} * 32;
+    bits += std::uint64_t{cfg.numTagged} * cfg.taggedEntries *
+            (cfg.tagBits + 32 + 2 + 1);
+    return bits;
+}
+
+} // namespace udp

@@ -1,0 +1,93 @@
+#include "bpred/loop_predictor.h"
+
+#include "common/intmath.h"
+#include "common/rng.h"
+
+namespace udp {
+
+LoopPredictor::LoopPredictor(const LoopPredictorConfig& c)
+    : cfg(c), entries(c.numEntries)
+{
+}
+
+std::uint32_t
+LoopPredictor::indexOf(Addr pc) const
+{
+    return static_cast<std::uint32_t>((pc >> 2) & (cfg.numEntries - 1));
+}
+
+std::uint32_t
+LoopPredictor::tagOf(Addr pc) const
+{
+    return static_cast<std::uint32_t>(
+        ((pc >> 2) / cfg.numEntries) & ((1u << cfg.tagBits) - 1));
+}
+
+LoopPrediction
+LoopPredictor::predict(Addr pc) const
+{
+    LoopPrediction p;
+    std::uint32_t idx = indexOf(pc);
+    const Entry& e = entries[idx];
+    if (!e.valid || e.tag != tagOf(pc) || e.conf < cfg.confMax ||
+        e.trip < 4) {
+        return p;
+    }
+    p.valid = true;
+    p.entry = idx;
+    // Exit iteration: the branch falls through after trip-1 taken outcomes.
+    p.taken = (e.count + 1) < e.trip;
+    return p;
+}
+
+void
+LoopPredictor::update(Addr pc, bool taken)
+{
+    std::uint32_t idx = indexOf(pc);
+    Entry& e = entries[idx];
+    std::uint32_t tag = tagOf(pc);
+
+    if (!e.valid || e.tag != tag) {
+        // Allocate only on a not-taken outcome (potential loop exit) so the
+        // first learned interval is aligned with an iteration boundary.
+        if (!taken) {
+            e.valid = true;
+            e.tag = tag;
+            e.trip = 0;
+            e.count = 0;
+            e.conf = 0;
+        }
+        return;
+    }
+
+    if (taken) {
+        if (e.count < cfg.maxTrip) {
+            ++e.count;
+        } else {
+            // Degenerate "loop" that never exits: drop the entry.
+            e.valid = false;
+        }
+        return;
+    }
+
+    // Not taken: one full loop execution observed.
+    std::uint32_t observed_trip = e.count + 1;
+    if (observed_trip == e.trip) {
+        if (e.conf < cfg.confMax) {
+            ++e.conf;
+        }
+    } else {
+        e.trip = observed_trip;
+        e.conf = 0;
+    }
+    e.count = 0;
+}
+
+std::uint64_t
+LoopPredictor::storageBits() const
+{
+    // tag + trip(14) + count(14) + conf(2) + valid(1)
+    return std::uint64_t{cfg.numEntries} * (cfg.tagBits + 14 + 14 + 2 + 1);
+}
+
+} // namespace udp

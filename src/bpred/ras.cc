@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Translation-unit anchor for the header-only Ras (keeps the module layout
+ * uniform and gives static checks a home).
+ */
+
+#include "bpred/ras.h"
+
+namespace udp {
+
+static_assert(sizeof(RasCheckpoint) <= 16, "RAS checkpoints must stay cheap");
+
+} // namespace udp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Return address stack with lightweight checkpointing: recovery restores
+ * the top-of-stack pointer and the top value (the standard low-cost RAS
+ * repair scheme).
+ */
+
+#ifndef UDP_BPRED_RAS_H
+#define UDP_BPRED_RAS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace udp {
+
+/** Snapshot for recovery. */
+struct RasCheckpoint
+{
+    std::uint32_t tos = 0;
+    Addr topValue = kInvalidAddr;
+};
+
+/** Circular return address stack. */
+class Ras
+{
+  public:
+    explicit Ras(unsigned num_entries = 64)
+        : stack(num_entries, kInvalidAddr)
+    {
+    }
+
+    void
+    push(Addr ret)
+    {
+        tos = (tos + 1) % stack.size();
+        stack[tos] = ret;
+    }
+
+    /** Pops and returns the predicted return address. */
+    Addr
+    pop()
+    {
+        Addr v = stack[tos];
+        tos = (tos + static_cast<std::uint32_t>(stack.size()) - 1) %
+              stack.size();
+        return v;
+    }
+
+    /** Peek without popping. */
+    Addr top() const { return stack[tos]; }
+
+    RasCheckpoint
+    checkpoint() const
+    {
+        return RasCheckpoint{tos, stack[tos]};
+    }
+
+    void
+    restore(const RasCheckpoint& c)
+    {
+        tos = c.tos % stack.size();
+        stack[tos] = c.topValue;
+    }
+
+    std::size_t capacity() const { return stack.size(); }
+
+  private:
+    std::vector<Addr> stack;
+    std::uint32_t tos = 0;
+};
+
+} // namespace udp
+
+#endif // UDP_BPRED_RAS_H

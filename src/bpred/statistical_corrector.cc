@@ -1,0 +1,93 @@
+#include "bpred/statistical_corrector.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace udp {
+
+StatisticalCorrector::StatisticalCorrector(const ScConfig& c)
+    : cfg(c), threshold(c.initialThreshold)
+{
+    assert(cfg.numTables <= 4);
+    tables.assign(cfg.numTables,
+                  std::vector<std::int8_t>(std::size_t{1} << cfg.tableBits, 0));
+}
+
+std::uint32_t
+StatisticalCorrector::indexOf(Addr pc, std::uint64_t hist, unsigned t) const
+{
+    std::uint64_t mask = cfg.histBits[t] >= 64
+                             ? ~0ULL
+                             : ((1ULL << cfg.histBits[t]) - 1);
+    std::uint64_t h = hashCombine(pc >> 2, hist & mask, t * 0x51ed);
+    return static_cast<std::uint32_t>(h & ((1u << cfg.tableBits) - 1));
+}
+
+ScPrediction
+StatisticalCorrector::predict(Addr pc, std::uint64_t hist, bool tage_taken,
+                              bool tage_high_conf) const
+{
+    ScPrediction p;
+    p.sum = 0;
+    for (unsigned t = 0; t < cfg.numTables; ++t) {
+        p.index[t] = indexOf(pc, hist, t);
+        p.sum += 2 * tables[t][p.index[t]] + 1;
+    }
+    bool sc_taken = p.sum >= 0;
+    p.taken = tage_taken;
+    if (!tage_high_conf && sc_taken != tage_taken &&
+        (p.sum >= threshold || p.sum <= -threshold)) {
+        p.used = true;
+        p.taken = sc_taken;
+    }
+    return p;
+}
+
+void
+StatisticalCorrector::update(const ScPrediction& p, bool tage_taken,
+                             bool taken)
+{
+    const int max_ctr = (1 << (cfg.ctrBits - 1)) - 1;
+    const int min_ctr = -(1 << (cfg.ctrBits - 1));
+
+    // Train when the corrector spoke up, or when its confidence was low.
+    bool weak = p.sum < threshold && p.sum > -threshold;
+    bool sc_taken = p.sum >= 0;
+    if (p.used || weak || sc_taken != taken) {
+        for (unsigned t = 0; t < cfg.numTables; ++t) {
+            std::int8_t& c = tables[t][p.index[t]];
+            if (taken && c < max_ctr) {
+                ++c;
+            } else if (!taken && c > min_ctr) {
+                --c;
+            }
+        }
+    }
+
+    // Adaptive threshold (Seznec's TC scheme, simplified).
+    if (p.used) {
+        bool sc_correct = p.taken == taken;
+        bool tage_correct = tage_taken == taken;
+        if (sc_correct != tage_correct) {
+            thresholdCtr += sc_correct ? -1 : 1;
+            if (thresholdCtr >= 4) {
+                threshold = std::min(threshold + 2, 127);
+                thresholdCtr = 0;
+            } else if (thresholdCtr <= -4) {
+                threshold = std::max(threshold - 2, 4);
+                thresholdCtr = 0;
+            }
+        }
+    }
+}
+
+std::uint64_t
+StatisticalCorrector::storageBits() const
+{
+    return std::uint64_t{cfg.numTables} * (std::uint64_t{1} << cfg.tableBits) *
+           cfg.ctrBits;
+}
+
+} // namespace udp

@@ -1,0 +1,163 @@
+#include "cache/cache.h"
+
+#include <cassert>
+
+#include "common/intmath.h"
+
+namespace udp {
+
+SetAssocCache::SetAssocCache(const CacheConfig& c) : cfg(c)
+{
+    assert(cfg.assoc >= 1);
+    numSets_ = cfg.sizeBytes / (std::uint64_t{kLineBytes} * cfg.assoc);
+    assert(numSets_ >= 1 && isPowerOf2(numSets_));
+    ways.resize(numSets_ * cfg.assoc);
+}
+
+std::size_t
+SetAssocCache::setOf(Addr line) const
+{
+    return static_cast<std::size_t>((line / kLineBytes) & (numSets_ - 1));
+}
+
+Addr
+SetAssocCache::tagOf(Addr line) const
+{
+    return (line / kLineBytes) / numSets_;
+}
+
+SetAssocCache::Way*
+SetAssocCache::findWay(Addr addr)
+{
+    Addr line = lineAddr(addr);
+    std::size_t base = setOf(line) * cfg.assoc;
+    Addr tag = tagOf(line);
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Way& way = ways[base + w];
+        if (way.valid && way.tag == tag) {
+            return &way;
+        }
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Way*
+SetAssocCache::findWay(Addr addr) const
+{
+    return const_cast<SetAssocCache*>(this)->findWay(addr);
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    return findWay(addr) != nullptr;
+}
+
+bool
+SetAssocCache::demandAccess(Addr addr, bool on_path)
+{
+    ++stats_.demandAccesses;
+    Way* way = findWay(addr);
+    if (!way) {
+        ++stats_.demandMisses;
+        return false;
+    }
+    ++stats_.demandHits;
+    way->lru = ++lruClock;
+    if (way->prefetch) {
+        ++stats_.prefetchHits;
+        way->prefetch = false;
+    }
+    if (way->prefetchTrue && on_path) {
+        ++stats_.prefetchHitsTrue;
+        way->prefetchTrue = false;
+    }
+    return true;
+}
+
+void
+SetAssocCache::touch(Addr addr)
+{
+    if (Way* way = findWay(addr)) {
+        way->lru = ++lruClock;
+    }
+}
+
+CacheInsertResult
+SetAssocCache::insert(Addr addr, bool is_prefetch)
+{
+    CacheInsertResult res;
+    Addr line = lineAddr(addr);
+
+    if (Way* way = findWay(line)) {
+        // Already present: refresh, don't re-mark a demand-touched line.
+        way->lru = ++lruClock;
+        return res;
+    }
+
+    std::size_t base = setOf(line) * cfg.assoc;
+    Way* victim = nullptr;
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Way& way = ways[base + w];
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (!victim || way.lru < victim->lru) {
+            victim = &way;
+        }
+    }
+    assert(victim);
+
+    if (victim->valid) {
+        res.evicted = true;
+        res.victimLine = (victim->tag * numSets_ + setOf(line)) * kLineBytes;
+        res.victimPrefetchUnused = victim->prefetch;
+        ++stats_.evictions;
+        if (victim->prefetch) {
+            ++stats_.prefetchUnused;
+        }
+        if (victim->prefetchTrue) {
+            ++stats_.prefetchUnusedTrue;
+        }
+    }
+
+    victim->valid = true;
+    victim->tag = tagOf(line);
+    victim->prefetch = is_prefetch;
+    victim->prefetchTrue = is_prefetch;
+    victim->lru = ++lruClock;
+    ++stats_.inserts;
+    return res;
+}
+
+bool
+SetAssocCache::invalidate(Addr addr)
+{
+    if (Way* way = findWay(addr)) {
+        way->valid = false;
+        way->prefetch = false;
+        way->prefetchTrue = false;
+        return true;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::prefetchBit(Addr addr) const
+{
+    const Way* way = findWay(addr);
+    return way && way->prefetch;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (Way& way : ways) {
+        way.valid = false;
+        way.prefetch = false;
+        way.prefetchTrue = false;
+    }
+}
+
+} // namespace udp

@@ -1,0 +1,69 @@
+#include "cache/mshr.h"
+
+namespace udp {
+
+MshrEntry*
+MshrFile::find(Addr line)
+{
+    for (MshrEntry& e : entries) {
+        if (e.valid && e.line == line) {
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+const MshrEntry*
+MshrFile::find(Addr line) const
+{
+    return const_cast<MshrFile*>(this)->find(line);
+}
+
+MshrEntry*
+MshrFile::allocate(Addr line, Cycle ready, bool is_prefetch)
+{
+    for (MshrEntry& e : entries) {
+        if (!e.valid) {
+            e.valid = true;
+            e.line = line;
+            e.ready = ready;
+            e.isPrefetch = is_prefetch;
+            e.demandMerged = false;
+            e.onPathDemandMerged = false;
+            ++stats_.allocations;
+            return &e;
+        }
+    }
+    ++stats_.fullRejects;
+    return nullptr;
+}
+
+void
+MshrFile::clear()
+{
+    for (MshrEntry& e : entries) {
+        e.valid = false;
+    }
+}
+
+unsigned
+MshrFile::numFree() const
+{
+    unsigned free = 0;
+    for (const MshrEntry& e : entries) {
+        if (!e.valid) {
+            ++free;
+        }
+    }
+    return free;
+}
+
+void
+MshrFile::noteDemandMerge(MshrEntry& e, bool on_path)
+{
+    e.demandMerged = true;
+    e.onPathDemandMerged = e.onPathDemandMerged || on_path;
+    ++stats_.demandMerges;
+}
+
+} // namespace udp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Miss status holding registers / fill buffer. For the icache this is the
+ * structure whose demand hits define prefetch *untimeliness* in the paper
+ * (a demand access merging with an in-flight prefetch means the prefetch
+ * was useful but late).
+ */
+
+#ifndef UDP_CACHE_MSHR_H
+#define UDP_CACHE_MSHR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace udp {
+
+/** One outstanding miss. */
+struct MshrEntry
+{
+    bool valid = false;
+    Addr line = kInvalidAddr;
+    Cycle ready = kInvalidCycle;
+    /** Installed by a prefetch (vs a demand miss). */
+    bool isPrefetch = false;
+    /** A demand access merged with this entry while in flight. */
+    bool demandMerged = false;
+    /** Ground truth: the merging demand access was on the correct path. */
+    bool onPathDemandMerged = false;
+};
+
+/** Statistics. */
+struct MshrStats
+{
+    std::uint64_t allocations = 0;
+    std::uint64_t demandMerges = 0;
+    std::uint64_t fullRejects = 0;
+};
+
+/** Fixed-size MSHR file keyed by line address. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned num_entries) : entries(num_entries) {}
+
+    /** Finds the outstanding entry for @p line, nullptr when absent. */
+    MshrEntry* find(Addr line);
+    const MshrEntry* find(Addr line) const;
+
+    /**
+     * Allocates an entry; returns nullptr when the file is full (caller
+     * must stall or drop).
+     */
+    MshrEntry* allocate(Addr line, Cycle ready, bool is_prefetch);
+
+    /**
+     * Invokes @p cb (signature void(const MshrEntry&)) for every entry
+     * whose fill has arrived by @p now, then frees it.
+     */
+    template <typename F>
+    void
+    drainReady(Cycle now, F&& cb)
+    {
+        for (MshrEntry& e : entries) {
+            if (e.valid && e.ready <= now) {
+                cb(const_cast<const MshrEntry&>(e));
+                e.valid = false;
+            }
+        }
+    }
+
+    /** Drops all in-flight entries (pipeline-reset situations in tests). */
+    void clear();
+
+    unsigned numFree() const;
+    unsigned capacity() const { return static_cast<unsigned>(entries.size()); }
+    bool full() const { return numFree() == 0; }
+
+    const MshrStats& stats() const { return stats_; }
+    void clearStats() { stats_ = MshrStats(); }
+
+    /** Records a demand merge on @p e (statistics + flags). */
+    void noteDemandMerge(MshrEntry& e, bool on_path);
+
+  private:
+    std::vector<MshrEntry> entries;
+    MshrStats stats_;
+};
+
+} // namespace udp
+
+#endif // UDP_CACHE_MSHR_H

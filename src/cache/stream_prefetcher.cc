@@ -1,0 +1,71 @@
+#include "cache/stream_prefetcher.h"
+
+namespace udp {
+
+StreamPrefetcher::StreamPrefetcher(const StreamPrefetcherConfig& c)
+    : cfg(c), streams(c.numStreams)
+{
+}
+
+void
+StreamPrefetcher::observe(Addr line, std::vector<Addr>& out)
+{
+    ++useClock;
+
+    // Match against an existing stream (next line in either direction).
+    for (Stream& s : streams) {
+        if (!s.valid) {
+            continue;
+        }
+        Addr expected_up = s.lastLine + kLineBytes;
+        Addr expected_down = s.lastLine - kLineBytes;
+        if ((s.direction > 0 && line == expected_up) ||
+            (s.direction < 0 && line == expected_down)) {
+            s.lastLine = line;
+            s.lastUse = useClock;
+            if (s.confidence < cfg.trainThreshold) {
+                ++s.confidence;
+                ++stats_.trainings;
+            }
+            if (s.confidence >= cfg.trainThreshold) {
+                for (unsigned d = 1; d <= cfg.depth; ++d) {
+                    Addr target = s.direction > 0
+                                      ? line + Addr{d} * kLineBytes
+                                      : line - Addr{d} * kLineBytes;
+                    out.push_back(target);
+                    ++stats_.prefetchesIssued;
+                }
+            }
+            return;
+        }
+        // Direction learning on the second access of a fresh stream.
+        if (s.confidence == 0 &&
+            (line == expected_up || line == expected_down)) {
+            s.direction = line == expected_up ? 1 : -1;
+            s.lastLine = line;
+            s.lastUse = useClock;
+            s.confidence = 1;
+            ++stats_.trainings;
+            return;
+        }
+    }
+
+    // Allocate a new stream over the LRU slot.
+    Stream* victim = &streams[0];
+    for (Stream& s : streams) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.lastUse < victim->lastUse) {
+            victim = &s;
+        }
+    }
+    victim->valid = true;
+    victim->lastLine = line;
+    victim->direction = 1;
+    victim->confidence = 0;
+    victim->lastUse = useClock;
+}
+
+} // namespace udp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Simple fixed-bucket histogram for occupancy / latency statistics.
+ */
+
+#ifndef UDP_COMMON_HISTOGRAM_H
+#define UDP_COMMON_HISTOGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace udp {
+
+/**
+ * Histogram over unsigned sample values with unit-width buckets up to a
+ * maximum; larger samples land in the overflow bucket. Tracks enough state
+ * to compute the running mean cheaply (used for average FTQ occupancy).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t max_value = 256)
+        : buckets(max_value + 1, 0) {}
+
+    void
+    sample(std::uint64_t v)
+    {
+        std::size_t idx = v >= buckets.size() ? buckets.size() - 1
+                                              : static_cast<std::size_t>(v);
+        ++buckets[idx];
+        sum += v;
+        ++n;
+    }
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return n == 0 ? 0.0 : static_cast<double>(sum) / n; }
+
+    /** Count in bucket @p i (the last bucket holds the overflow). */
+    std::uint64_t bucket(std::size_t i) const { return buckets.at(i); }
+    std::size_t numBuckets() const { return buckets.size(); }
+
+    /** Smallest value v such that at least fraction @p q of samples <= v. */
+    std::uint64_t
+    percentile(double q) const
+    {
+        if (n == 0) {
+            return 0;
+        }
+        std::uint64_t need = static_cast<std::uint64_t>(q * n);
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            acc += buckets[i];
+            if (acc >= need) {
+                return i;
+            }
+        }
+        return buckets.size() - 1;
+    }
+
+    void
+    clear()
+    {
+        std::fill(buckets.begin(), buckets.end(), 0);
+        sum = 0;
+        n = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t sum = 0;
+    std::uint64_t n = 0;
+};
+
+} // namespace udp
+
+#endif // UDP_COMMON_HISTOGRAM_H

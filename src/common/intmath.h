@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Small integer math helpers (power-of-two logic, alignment).
+ */
+
+#ifndef UDP_COMMON_INTMATH_H
+#define UDP_COMMON_INTMATH_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace udp {
+
+/** True if @p v is a power of two (0 is not). */
+constexpr bool isPowerOf2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/** Floor of log2(v); @p v must be non-zero. */
+constexpr unsigned floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1) {
+        ++l;
+    }
+    return l;
+}
+
+/** Ceiling of log2(v); @p v must be non-zero. */
+constexpr unsigned ceilLog2(std::uint64_t v)
+{
+    return floorLog2(v) + (isPowerOf2(v) ? 0 : 1);
+}
+
+/** Rounds @p a down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t alignDown(std::uint64_t a, std::uint64_t align)
+{
+    return a & ~(align - 1);
+}
+
+/** Rounds @p a up to a multiple of power-of-two @p align. */
+constexpr std::uint64_t alignUp(std::uint64_t a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+} // namespace udp
+
+#endif // UDP_COMMON_INTMATH_H

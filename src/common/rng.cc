@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Out-of-line anchor for the rng translation unit (all hashing is inline;
+ * this file exists so the common module owns an object file and stays easy
+ * to extend).
+ */
+
+#include "common/rng.h"
+
+namespace udp {
+
+// Compile-time self checks of the mixer's basic sanity.
+static_assert(mix64(0) != 0, "mixer must not map 0 -> 0");
+static_assert(mix64(1) != mix64(2), "mixer must separate adjacent inputs");
+
+} // namespace udp

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Saturating counters used by predictors and the UDP/UFTQ control logic.
+ */
+
+#ifndef UDP_COMMON_SAT_COUNTER_H
+#define UDP_COMMON_SAT_COUNTER_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace udp {
+
+/**
+ * An n-bit unsigned saturating counter.
+ *
+ * Counts in [0, 2^bits - 1]; increments and decrements clamp at the ends.
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /** @param num_bits width; @param initial initial value (clamped). */
+    explicit SatCounter(unsigned num_bits, unsigned initial = 0)
+        : maxVal((1u << num_bits) - 1),
+          val(initial > maxVal ? maxVal : initial)
+    {
+        assert(num_bits >= 1 && num_bits <= 16);
+    }
+
+    unsigned value() const { return val; }
+    unsigned max() const { return maxVal; }
+
+    void increment() { if (val < maxVal) ++val; }
+    void decrement() { if (val > 0) --val; }
+    void reset(unsigned v = 0) { val = v > maxVal ? maxVal : v; }
+
+    /** True when in the upper half of the range ("taken" for bimodal use). */
+    bool isSet() const { return val > maxVal / 2; }
+
+    /** True when pegged at either end. */
+    bool isSaturated() const { return val == 0 || val == maxVal; }
+
+  private:
+    unsigned maxVal = 3;
+    unsigned val = 0;
+};
+
+/**
+ * An n-bit signed saturating counter in [-2^(bits-1), 2^(bits-1)-1],
+ * as used by TAGE prediction counters.
+ */
+class SignedSatCounter
+{
+  public:
+    SignedSatCounter() = default;
+
+    explicit SignedSatCounter(unsigned num_bits, int initial = 0)
+        : minVal(-(1 << (num_bits - 1))), maxVal((1 << (num_bits - 1)) - 1),
+          val(initial)
+    {
+        assert(num_bits >= 2 && num_bits <= 8);
+        if (val < minVal) val = minVal;
+        if (val > maxVal) val = maxVal;
+    }
+
+    int value() const { return val; }
+    int min() const { return minVal; }
+    int max() const { return maxVal; }
+
+    /** Moves towards max (taken) or min (not taken). */
+    void
+    update(bool up)
+    {
+        if (up) {
+            if (val < maxVal) ++val;
+        } else {
+            if (val > minVal) --val;
+        }
+    }
+
+    /** Predicted direction: the sign bit (>= 0 means taken). */
+    bool taken() const { return val >= 0; }
+
+    /** Distance from the weak boundary; larger means more confident. */
+    unsigned
+    magnitude() const
+    {
+        return static_cast<unsigned>(val >= 0 ? val + 1 : -val);
+    }
+
+    /** True when pegged at either rail (maximum confidence). */
+    bool isSaturated() const { return val == minVal || val == maxVal; }
+
+    /** True when one step from flipping (minimum confidence). */
+    bool isWeak() const { return val == 0 || val == -1; }
+
+    void reset(int v = 0) { val = v < minVal ? minVal : (v > maxVal ? maxVal : v); }
+
+  private:
+    int minVal = -2;
+    int maxVal = 1;
+    int val = 0;
+};
+
+} // namespace udp
+
+#endif // UDP_COMMON_SAT_COUNTER_H

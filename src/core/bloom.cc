@@ -1,0 +1,70 @@
+#include "core/bloom.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace udp {
+
+BloomFilter::BloomFilter(std::size_t num_bits, unsigned num_hashes)
+    : bits(num_bits), k(num_hashes), words((num_bits + 63) / 64, 0)
+{
+    assert(bits >= 64);
+    assert(k >= 1 && k <= 16);
+}
+
+std::size_t
+BloomFilter::bitIndex(std::uint64_t key, unsigned i) const
+{
+    std::uint64_t h1 = mix64(key);
+    std::uint64_t h2 = mix64(key ^ 0x517cc1b727220a95ULL) | 1;
+    return static_cast<std::size_t>((h1 + std::uint64_t{i} * h2) % bits);
+}
+
+void
+BloomFilter::insert(std::uint64_t key)
+{
+    for (unsigned i = 0; i < k; ++i) {
+        std::size_t b = bitIndex(key, i);
+        words[b >> 6] |= std::uint64_t{1} << (b & 63);
+    }
+    ++inserted;
+}
+
+bool
+BloomFilter::contains(std::uint64_t key) const
+{
+    for (unsigned i = 0; i < k; ++i) {
+        std::size_t b = bitIndex(key, i);
+        if (!(words[b >> 6] & (std::uint64_t{1} << (b & 63)))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+BloomFilter::clear()
+{
+    std::fill(words.begin(), words.end(), 0);
+    inserted = 0;
+}
+
+std::uint64_t
+BloomFilter::capacityElements() const
+{
+    // ~1% false positives with k=6 needs ~9.57 bits per element.
+    return static_cast<std::uint64_t>(static_cast<double>(bits) / 9.57);
+}
+
+double
+BloomFilter::fillRatio() const
+{
+    std::uint64_t set = 0;
+    for (std::uint64_t w : words) {
+        set += static_cast<std::uint64_t>(__builtin_popcountll(w));
+    }
+    return static_cast<double>(set) / static_cast<double>(bits);
+}
+
+} // namespace udp

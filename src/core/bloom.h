@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Banked Bloom filter used by UDP's useful-set (paper Section IV-B: three
+ * filters of 16k/1k/1k bits, 6 hash functions, ~1% false-positive rate).
+ */
+
+#ifndef UDP_CORE_BLOOM_H
+#define UDP_CORE_BLOOM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace udp {
+
+/**
+ * A classic Bloom filter over 64-bit keys with k hash functions derived by
+ * double hashing. Tracks the number of insertions so the owner can detect
+ * "full" (insertions >= nominal capacity for the configured FP rate).
+ */
+class BloomFilter
+{
+  public:
+    /**
+     * @param num_bits filter size in bits (power of two recommended)
+     * @param num_hashes k (6 per the paper's Open Bloom Filter parameters)
+     */
+    explicit BloomFilter(std::size_t num_bits, unsigned num_hashes = 6);
+
+    void insert(std::uint64_t key);
+    bool contains(std::uint64_t key) const;
+    void clear();
+
+    std::uint64_t insertions() const { return inserted; }
+    std::size_t sizeBits() const { return bits; }
+
+    /**
+     * Nominal element capacity at ~1% FP with k=6 (~9.57 bits/element).
+     */
+    std::uint64_t capacityElements() const;
+
+    /** Inserted at or beyond nominal capacity. */
+    bool full() const { return inserted >= capacityElements(); }
+
+    /** Fraction of set bits (diagnostics/tests). */
+    double fillRatio() const;
+
+  private:
+    std::size_t bitIndex(std::uint64_t key, unsigned i) const;
+
+    std::size_t bits;
+    unsigned k;
+    std::vector<std::uint64_t> words;
+    std::uint64_t inserted = 0;
+};
+
+} // namespace udp
+
+#endif // UDP_CORE_BLOOM_H

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Translation-unit anchor for the header-only OffPathConfidence.
+ */
+
+#include "core/confidence.h"
+
+namespace udp {
+
+static_assert(sizeof(OffPathConfidence) <= 128,
+              "confidence estimator must stay a small hardware structure");
+
+} // namespace udp

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * UDP's off-path confidence estimator (paper Section IV-B): accumulates
+ * TAGE prediction confidence (+2 low / +1 medium / +0 high) since the last
+ * recovery; past a threshold the frontend is assumed to be off-path and
+ * FDIP switches from unconditional emission to useful-set-filtered
+ * emission. A predicted-taken branch that missed the BTB immediately
+ * forces the off-path assumption.
+ */
+
+#ifndef UDP_CORE_CONFIDENCE_H
+#define UDP_CORE_CONFIDENCE_H
+
+#include <cstdint>
+
+#include "bpred/tage.h"
+
+namespace udp {
+
+/** Configuration. */
+struct ConfidenceConfig
+{
+    unsigned threshold = 8;
+    unsigned lowWeight = 2;
+    unsigned medWeight = 1;
+    unsigned highWeight = 0;
+    /** Counter bump after a decode-corrected (BTB-miss) taken branch. */
+    unsigned btbMissBump = 6;
+    unsigned counterMax = 255;
+};
+
+/** Statistics. */
+struct ConfidenceStats
+{
+    std::uint64_t predictionsSeen = 0;
+    std::uint64_t btbMissEvents = 0;
+    std::uint64_t resets = 0;
+    std::uint64_t cyclesAssumedOffPath = 0; ///< sampled by the owner
+};
+
+/** The saturating off-path confidence counter. */
+class OffPathConfidence
+{
+  public:
+    explicit OffPathConfidence(const ConfidenceConfig& cfg) : cfg_(cfg) {}
+
+    /** A conditional direction was predicted with confidence @p c. */
+    void
+    onCondPredicted(Confidence c)
+    {
+        ++stats_.predictionsSeen;
+        unsigned w = c == Confidence::Low
+                         ? cfg_.lowWeight
+                         : (c == Confidence::Med ? cfg_.medWeight
+                                                 : cfg_.highWeight);
+        bump(w);
+    }
+
+    /** Decode detected a predicted-taken branch missing from the BTB. */
+    void
+    onBtbMissTaken()
+    {
+        ++stats_.btbMissEvents;
+        bump(cfg_.btbMissBump);
+    }
+
+    /** Branch recovery / resteer: back on a (believed) correct path. */
+    void
+    reset()
+    {
+        ++stats_.resets;
+        counter = 0;
+    }
+
+    bool assumedOffPath() const { return counter >= cfg_.threshold; }
+    unsigned value() const { return counter; }
+
+    ConfidenceStats& stats() { return stats_; }
+    const ConfidenceStats& stats() const { return stats_; }
+    void clearStats() { stats_ = ConfidenceStats(); }
+
+  private:
+    void
+    bump(unsigned w)
+    {
+        counter = counter + w > cfg_.counterMax ? cfg_.counterMax
+                                                : counter + w;
+    }
+
+    ConfidenceConfig cfg_;
+    unsigned counter = 0;
+    ConfidenceStats stats_;
+};
+
+} // namespace udp
+
+#endif // UDP_CORE_CONFIDENCE_H

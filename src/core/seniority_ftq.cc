@@ -1,0 +1,71 @@
+#include "core/seniority_ftq.h"
+
+namespace udp {
+
+SeniorityFtq::SeniorityFtq(const SeniorityFtqConfig& c) : cfg(c)
+{
+    lines.reserve(cfg.capacity * 2);
+}
+
+void
+SeniorityFtq::insert(Addr line, std::uint64_t dyn_id)
+{
+    line = lineAddr(line);
+    // Deduplicate: consecutive blocks in the same line (and re-fetches of
+    // the same region) must not flood the small FIFO.
+    if (lines.find(line) != lines.end()) {
+        return;
+    }
+    if (fifo.size() >= cfg.capacity) {
+        const Slot& old = fifo.front();
+        auto it = lines.find(old.line);
+        if (it != lines.end() && --it->second == 0) {
+            lines.erase(it);
+        }
+        fifo.pop_front();
+        ++stats_.capacityEvictions;
+    }
+    fifo.push_back(Slot{line, dyn_id});
+    ++lines[line];
+    ++stats_.inserts;
+}
+
+bool
+SeniorityFtq::matchAndRemove(Addr line)
+{
+    line = lineAddr(line);
+    auto it = lines.find(line);
+    if (it == lines.end()) {
+        return false;
+    }
+    ++stats_.matches;
+    // Remove one matching slot (oldest first).
+    for (auto s = fifo.begin(); s != fifo.end(); ++s) {
+        if (s->line == line) {
+            fifo.erase(s);
+            break;
+        }
+    }
+    if (--it->second == 0) {
+        lines.erase(it);
+    }
+    return true;
+}
+
+void
+SeniorityFtq::onFlush(std::uint64_t squash_after_dyn_id)
+{
+    if (cfg.flushPolicy == SftqFlushPolicy::Keep) {
+        return;
+    }
+    while (!fifo.empty() && fifo.back().dynId > squash_after_dyn_id) {
+        auto it = lines.find(fifo.back().line);
+        if (it != lines.end() && --it->second == 0) {
+            lines.erase(it);
+        }
+        fifo.pop_back();
+        ++stats_.flushDrops;
+    }
+}
+
+} // namespace udp

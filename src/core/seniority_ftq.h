@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The Seniority-FTQ (paper Section IV-B): holds off-path prefetch
+ * candidate blocks after they leave the FTQ so that a later retirement of
+ * an instruction in the same cache line proves the candidate useful
+ * (merge-point reconvergence). Much smaller than the ROB: block-granular
+ * and only candidate blocks.
+ */
+
+#ifndef UDP_CORE_SENIORITY_FTQ_H
+#define UDP_CORE_SENIORITY_FTQ_H
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace udp {
+
+/** Behaviour on pipeline flush. */
+enum class SftqFlushPolicy : std::uint8_t {
+    /**
+     * Keep entries across flushes: off-path candidates survive the
+     * recovery so post-recovery retirements can match them (the mechanism
+     * that makes off-path learning work; default).
+     */
+    Keep,
+    /** Literal reading of the paper: drop entries younger than the flush
+     *  point (ablation). */
+    DropYounger,
+};
+
+/** Configuration. */
+struct SeniorityFtqConfig
+{
+    unsigned capacity = 128;
+    SftqFlushPolicy flushPolicy = SftqFlushPolicy::Keep;
+};
+
+/** Statistics. */
+struct SeniorityFtqStats
+{
+    std::uint64_t inserts = 0;
+    std::uint64_t matches = 0;
+    std::uint64_t capacityEvictions = 0;
+    std::uint64_t flushDrops = 0;
+};
+
+/** FIFO of off-path candidate blocks with O(1) line matching. */
+class SeniorityFtq
+{
+  public:
+    explicit SeniorityFtq(const SeniorityFtqConfig& cfg);
+
+    /** Inserts a candidate block @p line tagged with its dynamic id. */
+    void insert(Addr line, std::uint64_t dyn_id);
+
+    /**
+     * Retirement check: does @p line match a held candidate? On a match
+     * the candidate is consumed (removed) and true is returned.
+     */
+    bool matchAndRemove(Addr line);
+
+    /** Pipeline flush at @p squash_after_dyn_id (policy-dependent). */
+    void onFlush(std::uint64_t squash_after_dyn_id);
+
+    std::size_t size() const { return fifo.size(); }
+
+    const SeniorityFtqStats& stats() const { return stats_; }
+    void clearStats() { stats_ = SeniorityFtqStats(); }
+
+  private:
+    struct Slot
+    {
+        Addr line;
+        std::uint64_t dynId;
+    };
+
+    void erase(Addr line);
+
+    SeniorityFtqConfig cfg;
+    std::deque<Slot> fifo;
+    std::unordered_map<Addr, unsigned> lines; ///< line -> refcount
+    SeniorityFtqStats stats_;
+};
+
+} // namespace udp
+
+#endif // UDP_CORE_SENIORITY_FTQ_H

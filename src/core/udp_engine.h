@@ -1,0 +1,108 @@
+/**
+ * @file
+ * UDP: Utility-Driven instruction Prefetching (the paper's primary
+ * contribution). Composes the off-path confidence estimator, the
+ * Seniority-FTQ and the Bloom-filter useful-set into the filter FDIP
+ * consults before emitting an assumed-off-path prefetch.
+ */
+
+#ifndef UDP_CORE_UDP_ENGINE_H
+#define UDP_CORE_UDP_ENGINE_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "core/confidence.h"
+#include "core/seniority_ftq.h"
+#include "core/useful_set.h"
+#include "frontend/ftq.h"
+
+namespace udp {
+
+/** Aggregate UDP configuration (defaults = the paper's 8KB design). */
+struct UdpConfig
+{
+    ConfidenceConfig confidence;
+    UsefulSetConfig usefulSet;
+    SeniorityFtqConfig seniority;
+};
+
+/** FDIP's query result for one candidate. */
+struct UdpDecision
+{
+    bool emit = true;
+    /** Matched super-block span in lines (1 when not filtered). */
+    unsigned span = 1;
+    /** Base address of the span to prefetch. */
+    Addr base = kInvalidAddr;
+};
+
+/** UDP statistics. */
+struct UdpStats
+{
+    std::uint64_t candidatesOnPathAssumed = 0;
+    std::uint64_t candidatesOffPathAssumed = 0;
+    std::uint64_t emittedFiltered = 0; ///< off-path-assumed, set hit
+    std::uint64_t droppedFiltered = 0; ///< off-path-assumed, set miss
+    std::uint64_t retireMatches = 0;
+};
+
+/** The UDP engine. */
+class UdpEngine
+{
+  public:
+    explicit UdpEngine(const UdpConfig& cfg);
+
+    // --- frontend-side hooks -------------------------------------------
+    void onCondPredicted(Confidence c) { conf.onCondPredicted(c); }
+    void onBtbMissTaken();
+    void onResteer() { conf.reset(); }
+    bool assumedOffPath() const { return conf.assumedOffPath(); }
+
+    // --- FDIP-side -------------------------------------------------------
+    /**
+     * Evaluates a prefetch candidate (a block in the FTQ whose line is not
+     * resident). Uses the assumption tag captured when the block was
+     * built. On-path-assumed candidates always emit.
+     */
+    UdpDecision evaluate(const FtqEntry& entry, Addr line);
+
+    /** A prefetch for a candidate was actually emitted. */
+    void noteEmitted() { set.noteEmitted(); }
+
+    /** @p n prefetched lines were evicted unused (clear-policy feedback). */
+    void noteUnuseful(std::uint64_t n) { set.noteUnuseful(n); }
+
+    // --- fetch/backend-side ----------------------------------------------
+    /** A block left the FTQ after consumption by the fetch engine. */
+    void onBlockConsumed(const FtqEntry& entry);
+
+    /** The backend retired the (on-path) instruction at @p pc. */
+    void onRetire(Addr pc);
+
+    /** Pipeline flush at @p squash_after_dyn_id. */
+    void onFlush(std::uint64_t squash_after_dyn_id);
+
+    /** Periodic upkeep (clear policy evaluation). */
+    void maintain() { set.maybeClear(); }
+
+    /** Total storage budget in bits (paper: 8KB). */
+    std::uint64_t storageBits() const;
+
+    const UdpStats& stats() const { return stats_; }
+    const UsefulSetStats& usefulSetStats() const { return set.stats(); }
+    const SeniorityFtqStats& seniorityStats() const { return sftq.stats(); }
+    const ConfidenceStats& confidenceStats() const { return conf.stats(); }
+    void clearStats();
+
+  private:
+    UdpConfig cfg;
+    OffPathConfidence conf;
+    UsefulSet set;
+    SeniorityFtq sftq;
+    UdpStats stats_;
+};
+
+} // namespace udp
+
+#endif // UDP_CORE_UDP_ENGINE_H

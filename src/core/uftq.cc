@@ -1,0 +1,135 @@
+#include "core/uftq.h"
+
+#include <algorithm>
+
+#include "stats/stats.h"
+
+namespace udp {
+
+UftqController::UftqController(Ftq& q, const UftqConfig& c)
+    : ftq(q), cfg(c), depth(c.initialDepth)
+{
+    applyDepth(depth);
+}
+
+double
+UftqController::combine(double a, double t)
+{
+    // FTQ = -0.34*QD_AUR + 0.64*QD_ATR + 0.008*QD_AUR^2 + 0.01*QD_ATR^2
+    //       - 0.008*QD_AUR*QD_ATR     (paper Section IV-A)
+    return -0.34 * a + 0.64 * t + 0.008 * a * a + 0.01 * t * t -
+           0.008 * a * t;
+}
+
+void
+UftqController::applyDepth(unsigned d)
+{
+    depth = std::clamp<unsigned>(d, cfg.minDepth,
+                                 static_cast<unsigned>(
+                                     ftq.physicalCapacity()));
+    ftq.setCapacity(depth);
+}
+
+unsigned
+UftqController::ruleStep(double measured, double target, bool timeliness_rule)
+{
+    // Utility rule: ratio above target -> prefetches are paying off, run
+    // further ahead; below target -> too much pollution, back off.
+    // Timeliness rule: ratio below target -> prefetches are late, deepen
+    // the FTQ; above target -> shallower is safe.
+    if (measured > target - cfg.deadband && measured < target + cfg.deadband) {
+        return depth; // converged: hold
+    }
+    bool grow = timeliness_rule ? measured < target : measured > target;
+    if (grow) {
+        ++stats_.increases;
+        return depth + cfg.step;
+    }
+    ++stats_.decreases;
+    return depth > cfg.step ? depth - cfg.step : cfg.minDepth;
+}
+
+void
+UftqController::tick(const MemSysStats& mem, const CacheStats& l1i)
+{
+    if (cfg.mode == UftqMode::Off) {
+        return;
+    }
+
+    std::uint64_t emitted = mem.iprefIssued;
+    if (emitted - lastEmitted < cfg.epochPrefetches) {
+        return;
+    }
+
+    // Epoch boundary: compute the two ratios over this epoch.
+    std::uint64_t useful_hw =
+        l1i.prefetchHits + mem.pfMshrMergesHw; // demand-consumed prefetches
+    std::uint64_t unused_hw = l1i.prefetchUnused;
+    // Timeliness is measured over prefetched lines only: resident (timely)
+    // vs fill-buffer merge (untimely).
+    std::uint64_t l1_hits = mem.ifetchTimelyPrefetchHits;
+    std::uint64_t mshr_hits = mem.pfMshrMergesHw;
+
+    double d_useful = static_cast<double>(useful_hw - lastUsefulHw);
+    double d_unused = static_cast<double>(unused_hw - lastUnusedHw);
+    double d_l1 = static_cast<double>(l1_hits - lastL1Hits);
+    double d_mshr = static_cast<double>(mshr_hits - lastMshrHits);
+
+    double utility = ratio(d_useful, d_useful + d_unused);
+    double timeliness = ratio(d_l1, d_l1 + d_mshr);
+
+    lastEmitted = emitted;
+    lastUsefulHw = useful_hw;
+    lastUnusedHw = unused_hw;
+    lastL1Hits = l1_hits;
+    lastMshrHits = mshr_hits;
+
+    ++stats_.epochs;
+    stats_.lastUtility = utility;
+    stats_.lastTimeliness = timeliness;
+
+    switch (cfg.mode) {
+      case UftqMode::Aur:
+        applyDepth(ruleStep(utility, cfg.aur, false));
+        break;
+      case UftqMode::Atr:
+        applyDepth(ruleStep(timeliness, cfg.atr, true));
+        break;
+      case UftqMode::AtrAur:
+        switch (phase) {
+          case Phase::SearchAur:
+            applyDepth(ruleStep(utility, cfg.aur, false));
+            if (++phaseEpochs >= cfg.searchEpochs) {
+                qdAur = depth;
+                stats_.lastQdAur = qdAur;
+                phase = Phase::SearchAtr;
+                phaseEpochs = 0;
+            }
+            break;
+          case Phase::SearchAtr:
+            applyDepth(ruleStep(timeliness, cfg.atr, true));
+            if (++phaseEpochs >= cfg.searchEpochs) {
+                qdAtr = depth;
+                stats_.lastQdAtr = qdAtr;
+                double combined = combine(qdAur, qdAtr);
+                applyDepth(static_cast<unsigned>(
+                    std::max(combined, 1.0)));
+                ++stats_.applies;
+                phase = Phase::Hold;
+                phaseEpochs = 0;
+            }
+            break;
+          case Phase::Hold:
+            if (++phaseEpochs >= cfg.holdEpochs) {
+                phase = Phase::SearchAur;
+                phaseEpochs = 0;
+            }
+            break;
+        }
+        break;
+      case UftqMode::Off:
+        break;
+    }
+}
+
+} // namespace udp

@@ -1,0 +1,130 @@
+#include "core/useful_set.h"
+
+#include <algorithm>
+
+namespace udp {
+
+UsefulSet::UsefulSet(const UsefulSetConfig& c)
+    : cfg(c), f1(c.bits1, c.numHashes), f2(c.bits2, c.numHashes),
+      f4(c.bits4, c.numHashes)
+{
+}
+
+void
+UsefulSet::learn(Addr line)
+{
+    ++stats_.learns;
+    line = lineAddr(line);
+
+    if (cfg.infiniteStorage) {
+        infinite.insert(line);
+        return;
+    }
+
+    // Deduplicate within the coalescing buffer.
+    if (std::find(recent.begin(), recent.end(), line) != recent.end()) {
+        return;
+    }
+    recent.push_back(line);
+    if (recent.size() > cfg.coalesceBufferSize) {
+        Addr evicted = recent.front();
+        recent.pop_front();
+        insertEvicted(evicted);
+    }
+}
+
+void
+UsefulSet::insertEvicted(Addr line)
+{
+    auto in_recent = [&](Addr l) {
+        return std::find(recent.begin(), recent.end(), l) != recent.end();
+    };
+
+    // Already covered by a previously inserted super-block?
+    Addr base4 = spanBase(line, 4);
+    Addr base2 = spanBase(line, 2);
+    if (f4.contains(base4) || f2.contains(base2)) {
+        return;
+    }
+
+    // Try to form a 4-line super-block anchored at the aligned base: the
+    // evicted line must be the base and its three successors must be
+    // pending in the buffer (monotonically increasing addresses).
+    if (line == base4 && in_recent(line + kLineBytes) &&
+        in_recent(line + 2 * kLineBytes) && in_recent(line + 3 * kLineBytes)) {
+        f4.insert(base4);
+        ++stats_.inserts4;
+        // The partners stay in the buffer; covered-checks skip them later.
+        return;
+    }
+
+    // Try a 2-line super-block.
+    if (line == base2 && in_recent(line + kLineBytes)) {
+        f2.insert(base2);
+        ++stats_.inserts2;
+        return;
+    }
+
+    f1.insert(line);
+    ++stats_.inserts1;
+}
+
+unsigned
+UsefulSet::lookup(Addr line)
+{
+    line = lineAddr(line);
+
+    if (cfg.infiniteStorage) {
+        bool hit = infinite.count(line) != 0;
+        ++(hit ? stats_.hits : stats_.misses);
+        return hit ? 1 : 0;
+    }
+
+    if (f4.contains(spanBase(line, 4))) {
+        ++stats_.hits;
+        return 4;
+    }
+    if (f2.contains(spanBase(line, 2))) {
+        ++stats_.hits;
+        return 2;
+    }
+    if (f1.contains(line)) {
+        ++stats_.hits;
+        return 1;
+    }
+    ++stats_.misses;
+    return 0;
+}
+
+void
+UsefulSet::maybeClear()
+{
+    if (cfg.infiniteStorage) {
+        return;
+    }
+    if (epochEmitted < cfg.minEmittedForClear) {
+        return;
+    }
+    bool any_full = f1.full() || f2.full() || f4.full();
+    double unuseful_ratio =
+        static_cast<double>(epochUnuseful) / static_cast<double>(epochEmitted);
+    if (any_full && unuseful_ratio >= cfg.clearUnusefulRatio) {
+        f1.clear();
+        f2.clear();
+        f4.clear();
+        recent.clear();
+        ++stats_.clears;
+    }
+    epochEmitted = 0;
+    epochUnuseful = 0;
+}
+
+std::uint64_t
+UsefulSet::storageBits() const
+{
+    // Filters + coalescing buffer (8 x ~40-bit line addresses).
+    return f1.sizeBits() + f2.sizeBits() + f4.sizeBits() +
+           cfg.coalesceBufferSize * 40;
+}
+
+} // namespace udp

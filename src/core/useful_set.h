@@ -1,0 +1,102 @@
+/**
+ * @file
+ * UDP's useful-set: the learned set of off-path prefetch candidates worth
+ * emitting. Three Bloom filters hold 1-, 2- and 4-line super-blocks; an
+ * 8-entry coalescing buffer merges monotonically consecutive learned lines
+ * into super-blocks before insertion (4x storage saving, Section IV-B).
+ * Supports an infinite-storage oracle mode for the Fig. 13 upper bound.
+ */
+
+#ifndef UDP_CORE_USEFUL_SET_H
+#define UDP_CORE_USEFUL_SET_H
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "common/types.h"
+#include "core/bloom.h"
+
+namespace udp {
+
+/** Configuration (defaults = the paper's 8KB budget). */
+struct UsefulSetConfig
+{
+    std::size_t bits1 = 16 * 1024; ///< 1-line filter (16k bits)
+    std::size_t bits2 = 1024;      ///< 2-line super-block filter
+    std::size_t bits4 = 1024;      ///< 4-line super-block filter
+    unsigned numHashes = 6;
+    unsigned coalesceBufferSize = 8;
+    /** Clear when a filter is full and unuseful ratio reaches this. */
+    double clearUnusefulRatio = 0.75;
+    /** Minimum emitted prefetches per clear-evaluation epoch. */
+    std::uint64_t minEmittedForClear = 512;
+    /** Oracle mode: unbounded exact set, never cleared. */
+    bool infiniteStorage = false;
+};
+
+/** Statistics. */
+struct UsefulSetStats
+{
+    std::uint64_t learns = 0;
+    std::uint64_t inserts1 = 0;
+    std::uint64_t inserts2 = 0;
+    std::uint64_t inserts4 = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t clears = 0;
+};
+
+/** The learned useful-prefetch set. */
+class UsefulSet
+{
+  public:
+    explicit UsefulSet(const UsefulSetConfig& cfg);
+
+    /** Learns that @p line was a useful (retirement-verified) candidate. */
+    void learn(Addr line);
+
+    /**
+     * Queries a candidate line. Returns the matched span in lines
+     * (4, 2 or 1) or 0 when absent. The caller should prefetch the whole
+     * matched super-block.
+     */
+    unsigned lookup(Addr line);
+
+    /** Aligned base address of the span matched by lookup(). */
+    static Addr
+    spanBase(Addr line, unsigned span)
+    {
+        return line & ~((Addr{span} * kLineBytes) - 1);
+    }
+
+    /** Feedback for the clearing policy. */
+    void noteEmitted() { ++epochEmitted; }
+    void noteUnuseful(std::uint64_t n) { epochUnuseful += n; }
+
+    /** Evaluates the clear policy; call periodically. */
+    void maybeClear();
+
+    /** Total storage budget in bits (paper: ~8KB total with metadata). */
+    std::uint64_t storageBits() const;
+
+    const UsefulSetStats& stats() const { return stats_; }
+    void clearStats() { stats_ = UsefulSetStats(); }
+
+  private:
+    void insertEvicted(Addr line);
+
+    UsefulSetConfig cfg;
+    BloomFilter f1;
+    BloomFilter f2;
+    BloomFilter f4;
+    std::deque<Addr> recent; ///< coalescing buffer (newest at back)
+    std::unordered_set<Addr> infinite;
+    std::uint64_t epochEmitted = 0;
+    std::uint64_t epochUnuseful = 0;
+    UsefulSetStats stats_;
+};
+
+} // namespace udp
+
+#endif // UDP_CORE_USEFUL_SET_H

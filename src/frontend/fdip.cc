@@ -1,0 +1,85 @@
+#include "frontend/fdip.h"
+
+#include "core/udp_engine.h"
+
+namespace udp {
+
+FdipEngine::FdipEngine(MemSystem& m, Ftq& q, const FdipConfig& c)
+    : mem(m), ftq(q), cfg(c)
+{
+}
+
+void
+FdipEngine::onFtqPop()
+{
+    if (scanIdx > 0) {
+        --scanIdx;
+    }
+}
+
+void
+FdipEngine::tick(Cycle now)
+{
+    if (!cfg.enabled) {
+        return;
+    }
+    unsigned budget = cfg.blocksPerCycle;
+    while (budget > 0 && scanIdx < ftq.size()) {
+        FtqEntry& e = ftq.at(scanIdx);
+        ++scanIdx;
+        if (e.prefetchProbed) {
+            continue;
+        }
+        probe(e, now);
+        --budget;
+    }
+}
+
+void
+FdipEngine::probe(FtqEntry& e, Cycle now)
+{
+    e.prefetchProbed = true;
+    ++stats_.blocksScanned;
+
+    Addr line = e.line();
+    if (mem.icacheContains(line) || mem.icacheLineInFlight(line)) {
+        return; // present or already being filled: nothing to do
+    }
+    ++stats_.candidates;
+
+    unsigned span = 1;
+    Addr base = line;
+    if (udp_) {
+        UdpDecision d = udp_->evaluate(e, line);
+        if (e.assumedOffPath) {
+            e.udpOffPathCandidate = true;
+        }
+        if (!d.emit) {
+            ++stats_.droppedByUdp;
+            return;
+        }
+        span = d.span;
+        base = d.base;
+    }
+
+    for (unsigned i = 0; i < span; ++i) {
+        Addr target = base + Addr{i} * kLineBytes;
+        IPrefStatus st = mem.iprefetch(target, now);
+        if (st == IPrefStatus::Issued || st == IPrefStatus::DemotedL2) {
+            ++stats_.emitted;
+            if (target != line) {
+                ++stats_.udpExtraEmitted;
+            }
+            if (e.onPath) {
+                ++stats_.emittedOnPath;
+            } else {
+                ++stats_.emittedOffPath;
+            }
+            if (udp_) {
+                udp_->noteEmitted();
+            }
+        }
+    }
+}
+
+} // namespace udp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * FDIP: fetch-directed instruction prefetching [47]. Scans FTQ blocks
+ * ahead of the fetch engine, probing the icache and issuing prefetches for
+ * absent lines. Optionally filtered by UDP (utility-driven dropping of
+ * assumed-off-path candidates).
+ */
+
+#ifndef UDP_FRONTEND_FDIP_H
+#define UDP_FRONTEND_FDIP_H
+
+#include <cstdint>
+
+#include "cache/memsys.h"
+#include "common/types.h"
+#include "frontend/ftq.h"
+
+namespace udp {
+
+class UdpEngine;
+
+/** FDIP configuration. */
+struct FdipConfig
+{
+    /** Blocks scanned/probed per cycle (icache tag port budget). */
+    unsigned blocksPerCycle = 2;
+    /** Master enable (off = no instruction prefetching baseline). */
+    bool enabled = true;
+};
+
+/** FDIP statistics. */
+struct FdipStats
+{
+    std::uint64_t blocksScanned = 0;
+    std::uint64_t candidates = 0;       ///< blocks whose line missed L1I
+    std::uint64_t emitted = 0;          ///< prefetches issued
+    std::uint64_t emittedOnPath = 0;    ///< ground truth
+    std::uint64_t emittedOffPath = 0;
+    std::uint64_t droppedByUdp = 0;
+    std::uint64_t udpExtraEmitted = 0;  ///< super-block (2-/4-line) extras
+};
+
+/** The FDIP scan engine. */
+class FdipEngine
+{
+  public:
+    FdipEngine(MemSystem& mem, Ftq& ftq, const FdipConfig& cfg);
+
+    /** Attaches the UDP filter (nullptr = vanilla FDIP). */
+    void setUdp(UdpEngine* udp) { udp_ = udp; }
+
+    /** Scans up to blocksPerCycle unprobed FTQ blocks. */
+    void tick(Cycle now);
+
+    /** The fetch stage consumed the FTQ head. */
+    void onFtqPop();
+
+    /** The FTQ was flushed (resteer). */
+    void onFtqFlush() { scanIdx = 0; }
+
+    const FdipStats& stats() const { return stats_; }
+    void clearStats() { stats_ = FdipStats(); }
+
+  private:
+    void probe(FtqEntry& e, Cycle now);
+
+    MemSystem& mem;
+    Ftq& ftq;
+    FdipConfig cfg;
+    UdpEngine* udp_ = nullptr;
+    std::size_t scanIdx = 0;
+    FdipStats stats_;
+};
+
+} // namespace udp
+
+#endif // UDP_FRONTEND_FDIP_H

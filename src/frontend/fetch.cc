@@ -1,0 +1,225 @@
+#include "frontend/fetch.h"
+
+#include <cassert>
+
+namespace udp {
+
+FetchStage::FetchStage(const Program& prog, Bpu& bp, MemSystem& m, Ftq& q,
+                       DecoupledFrontend& fe, BranchRecordMap& recs,
+                       const FetchConfig& c)
+    : program(prog), bpu(bp), mem(m), ftq(q), frontend(fe), records(recs),
+      cfg(c)
+{
+}
+
+void
+FetchStage::flushAll()
+{
+    decodeQ.clear();
+    headAccessed = false;
+    headReady = 0;
+    headConsumed = 0;
+}
+
+bool
+FetchStage::postFetchCorrect(DecodedInstr& di, Cycle now)
+{
+    const Instr& sin = program.instrAt(di.idx);
+    if (sin.branch == BranchKind::None || di.predictedBranch) {
+        return false;
+    }
+
+    // Decode discovered a branch the frontend missed in the BTB.
+    ++stats_.decodeBtbCorrections;
+
+    Addr direct_target = kInvalidAddr;
+    if (sin.branch == BranchKind::CondDirect ||
+        sin.branch == BranchKind::Jump || sin.branch == BranchKind::Call) {
+        direct_target = program.pcOf(sin.target);
+    }
+    bpu.btb().insert(di.pc, sin.branch, direct_target);
+
+    BranchRecord rec;
+    rec.kind = sin.branch;
+    rec.fromDecode = true;
+    rec.ckpt = bpu.checkpoint();
+
+    bool taken = true;
+    Addr target = direct_target;
+
+    switch (sin.branch) {
+      case BranchKind::CondDirect:
+        rec.cond = bpu.predictCond(di.pc);
+        if (frontend.hooks().onCondPredicted) {
+            frontend.hooks().onCondPredicted(rec.cond.conf);
+        }
+        taken = rec.cond.taken;
+        break;
+      case BranchKind::Jump:
+        bpu.notifyUnconditional(di.pc);
+        break;
+      case BranchKind::Call:
+        bpu.pushReturn(di.pc + kInstrBytes);
+        bpu.notifyUnconditional(di.pc);
+        break;
+      case BranchKind::IndirectJump:
+      case BranchKind::IndirectCall:
+        rec.indirect = bpu.predictIndirect(di.pc);
+        target = rec.indirect.target;
+        if (target == kInvalidAddr) {
+            target = di.pc + kInstrBytes;
+        }
+        if (sin.branch == BranchKind::IndirectCall) {
+            bpu.pushReturn(di.pc + kInstrBytes);
+        }
+        bpu.notifyUnconditional(di.pc);
+        break;
+      case BranchKind::Return:
+        target = bpu.predictReturn();
+        if (target == kInvalidAddr) {
+            target = di.pc + kInstrBytes;
+        }
+        bpu.notifyUnconditional(di.pc);
+        break;
+      case BranchKind::None:
+        break;
+    }
+
+    di.predictedBranch = true;
+    di.predTaken = taken;
+    di.predTarget = taken ? target : kInvalidAddr;
+    records.emplace(di.dynId, std::move(rec));
+
+    if (!taken) {
+        // Sequential continuation was correct from the frontend's point of
+        // view: no resteer needed.
+        return false;
+    }
+
+    // Taken: everything younger in the frontend is wrong-path relative to
+    // the decode-corrected direction. Flush FTQ + younger decode state and
+    // resteer. (The paper's UDP treats this as an assume-off-path signal.)
+    if (frontend.hooks().onBtbMissTaken) {
+        frontend.hooks().onBtbMissTaken();
+    }
+    ++stats_.decodeResteers;
+
+    // Drop the not-yet-delivered remainder of the head block.
+    headAccessed = false;
+    headReady = 0;
+    headConsumed = 0;
+    // Erase records of squashed FTQ instructions.
+    for (std::size_t i = 0; i < ftq.size(); ++i) {
+        const FtqEntry& e = ftq.at(i);
+        for (unsigned k = 0; k < e.numInstrs; ++k) {
+            if (e.instrs[k].predictedBranch) {
+                records.erase(e.instrs[k].dynId);
+            }
+        }
+    }
+    ftq.flush();
+    if (onFtqFlushed) {
+        onFtqFlushed();
+    }
+
+    bool aligned = di.onPath;
+    std::uint64_t next_idx = di.streamIdx + 1;
+    frontend.resteer(now + 1, target, aligned, next_idx,
+                     /*from_decode=*/true);
+    return true;
+}
+
+void
+FetchStage::tick(Cycle now)
+{
+    if (decodeQ.size() >= cfg.decodeQueueMax) {
+        return; // backpressure from dispatch
+    }
+
+    unsigned budget = cfg.fetchWidth;
+    bool stalled_on_miss = false;
+
+    while (budget > 0) {
+        if (ftq.empty()) {
+            if (budget == cfg.fetchWidth) {
+                ++stats_.ftqEmptyCycles;
+            }
+            break;
+        }
+
+        FtqEntry& head = ftq.front();
+
+        if (!headAccessed) {
+            IFetchResult res = mem.ifetch(head.startPc, now, head.onPath);
+            if (res.where == IFetchWhere::Stall) {
+                break; // MSHR full: retry next cycle
+            }
+            if (onIFetchAccess) {
+                onIFetchAccess(lineAddr(head.startPc),
+                               res.where == IFetchWhere::L1, now);
+            }
+            headAccessed = true;
+            // L1 hits are pipelined (the hit latency is part of the
+            // fetch-to-dispatch depth); only misses stall delivery.
+            headReady = res.where == IFetchWhere::L1 ? now : res.ready;
+            headConsumed = 0;
+        }
+
+        if (now < headReady) {
+            stalled_on_miss = true;
+            break;
+        }
+
+        // Deliver instructions from the ready block.
+        bool resteered = false;
+        while (budget > 0 && headConsumed < head.numInstrs) {
+            const FtqInstr& fi = head.instrs[headConsumed];
+            const Instr& sin = program.instrAt(fi.idx);
+
+            DecodedInstr di;
+            di.dynId = fi.dynId;
+            di.idx = fi.idx;
+            di.pc = fi.pc;
+            di.type = sin.type;
+            di.kind = sin.branch;
+            di.execLat = sin.execLat;
+            di.dep1 = sin.dep1;
+            di.dep2 = sin.dep2;
+            di.behavior = sin.behavior;
+            di.onPath = fi.onPath;
+            di.streamIdx = fi.streamIdx;
+            di.predictedBranch = fi.predictedBranch;
+            di.predTaken = fi.predTaken;
+            di.predTarget = fi.predTarget;
+            di.readyAt = now + cfg.decodePipeLat;
+
+            ++headConsumed;
+            --budget;
+            ++stats_.instrsDelivered;
+
+            resteered = postFetchCorrect(di, now);
+            decodeQ.push_back(di);
+            if (resteered) {
+                return; // younger state flushed
+            }
+        }
+
+        if (headConsumed >= head.numInstrs) {
+            FtqEntry done = ftq.popFront();
+            headAccessed = false;
+            headConsumed = 0;
+            if (onBlockConsumed) {
+                onBlockConsumed(done);
+            }
+        } else {
+            break; // width exhausted mid-block
+        }
+    }
+
+    if (stalled_on_miss) {
+        ++stats_.icacheStallCycles;
+        stats_.lostSlotsIcacheMiss += budget;
+    }
+}
+
+} // namespace udp

@@ -1,0 +1,53 @@
+#include "frontend/ftq.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace udp {
+
+Ftq::Ftq(std::size_t physical_capacity, std::size_t capacity)
+    : physCap(physical_capacity),
+      capacity_(std::clamp<std::size_t>(capacity, 1, physical_capacity))
+{
+}
+
+void
+Ftq::setCapacity(std::size_t c)
+{
+    capacity_ = std::clamp<std::size_t>(c, 1, physCap);
+}
+
+void
+Ftq::push(FtqEntry e)
+{
+    assert(!full());
+    ++stats_.pushes;
+    q.push_back(std::move(e));
+}
+
+FtqEntry
+Ftq::popFront()
+{
+    assert(!q.empty());
+    FtqEntry e = std::move(q.front());
+    q.pop_front();
+    return e;
+}
+
+void
+Ftq::flush()
+{
+    ++stats_.flushes;
+    q.clear();
+}
+
+void
+Ftq::clearStats()
+{
+    stats_.pushes = 0;
+    stats_.fullStalls = 0;
+    stats_.flushes = 0;
+    stats_.occupancy.clear();
+}
+
+} // namespace udp

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Per-branch prediction records: everything the backend needs to resolve,
+ * recover and train a branch instance. Keyed by the frontend-assigned
+ * dynamic id and owned by the Cpu.
+ */
+
+#ifndef UDP_FRONTEND_RECORDS_H
+#define UDP_FRONTEND_RECORDS_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "bpred/bpu.h"
+#include "workload/isa.h"
+
+namespace udp {
+
+/** Prediction-time state of one in-flight branch. */
+struct BranchRecord
+{
+    /** BPU state captured just before this branch was predicted. */
+    BpuCheckpoint ckpt;
+    /** Direction prediction (CondDirect only). */
+    CondPredRecord cond;
+    /** Target prediction (indirect kinds only). */
+    IbtbPrediction indirect;
+    BranchKind kind = BranchKind::None;
+    /** Created by post-fetch correction (decode-detected BTB miss). */
+    bool fromDecode = false;
+};
+
+/** In-flight branch records keyed by dynamic instruction id. */
+using BranchRecordMap = std::unordered_map<std::uint64_t, BranchRecord>;
+
+} // namespace udp
+
+#endif // UDP_FRONTEND_RECORDS_H

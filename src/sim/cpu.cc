@@ -1,0 +1,156 @@
+#include "sim/cpu.h"
+
+namespace udp {
+
+Cpu::Cpu(const Program& prog, const SimConfig& c) : cfg(c), program(prog)
+{
+    stream_ = std::make_unique<TrueStream>(program);
+    bpu_ = std::make_unique<Bpu>(cfg.bpu);
+    mem_ = std::make_unique<MemSystem>(cfg.mem);
+    ftq_ = std::make_unique<Ftq>(cfg.ftqPhysical, cfg.ftqCapacity);
+    fe_ = std::make_unique<DecoupledFrontend>(program, *stream_, *bpu_,
+                                              *ftq_, records_, cfg.frontend);
+    fetch_ = std::make_unique<FetchStage>(program, *bpu_, *mem_, *ftq_,
+                                          *fe_, records_, cfg.fetch);
+    fdip_ = std::make_unique<FdipEngine>(*mem_, *ftq_, cfg.fdip);
+    backend_ = std::make_unique<Backend>(program, *stream_, *mem_, *bpu_,
+                                         records_, cfg.backend);
+
+    if (cfg.udpEnabled) {
+        udp_ = std::make_unique<UdpEngine>(cfg.udp);
+        fdip_->setUdp(udp_.get());
+        fe_->hooks().onCondPredicted = [this](Confidence c2) {
+            udp_->onCondPredicted(c2);
+        };
+        fe_->hooks().onBtbMissTaken = [this]() { udp_->onBtbMissTaken(); };
+        fe_->hooks().assumedOffPath = [this]() {
+            return udp_->assumedOffPath();
+        };
+        backend_->onRetirePc = [this](Addr pc) { udp_->onRetire(pc); };
+    }
+
+    if (cfg.uftq.mode != UftqMode::Off) {
+        uftq_ = std::make_unique<UftqController>(*ftq_, cfg.uftq);
+    }
+
+    if (cfg.eipEnabled) {
+        eip_ = std::make_unique<Eip>(*mem_, cfg.eip);
+        fetch_->onIFetchAccess = [this](Addr line, bool hit, Cycle t) {
+            eip_->onAccess(line, hit, t);
+        };
+    }
+
+    // Fetch-side plumbing (UDP Seniority-FTQ + FDIP scan pointer).
+    fetch_->onBlockConsumed = [this](const FtqEntry& e) {
+        fdip_->onFtqPop();
+        if (udp_) {
+            udp_->onBlockConsumed(e);
+        }
+    };
+    fetch_->onFtqFlushed = [this]() { fdip_->onFtqFlush(); };
+}
+
+void
+Cpu::applyResteer(const ResteerRequest& req)
+{
+    // Erase records of everything still in the frontend.
+    for (std::size_t i = 0; i < ftq_->size(); ++i) {
+        const FtqEntry& e = ftq_->at(i);
+        for (unsigned k = 0; k < e.numInstrs; ++k) {
+            if (e.instrs[k].predictedBranch) {
+                records_.erase(e.instrs[k].dynId);
+            }
+        }
+    }
+    for (const DecodedInstr& di : fetch_->decodeQueue()) {
+        if (di.predictedBranch && di.dynId > req.squashAfterDynId) {
+            records_.erase(di.dynId);
+        }
+    }
+
+    ftq_->flush();
+    fetch_->flushAll();
+    fdip_->onFtqFlush();
+    if (udp_) {
+        udp_->onFlush(req.squashAfterDynId);
+    }
+    fe_->resteer(now_ + cfg.frontend.execResteerPenalty, req.newPc,
+                 req.aligned, req.nextStreamIdx, /*from_decode=*/false);
+}
+
+void
+Cpu::cycle()
+{
+    ++now_;
+
+    mem_->tick(now_);
+
+    ResteerRequest req = backend_->tick(now_);
+    if (req.valid) {
+        applyResteer(req);
+    }
+
+    // Dispatch decoded instructions into the backend.
+    auto& dq = fetch_->decodeQueue();
+    unsigned budget = cfg.backend.dispatchWidth;
+    while (budget > 0 && !dq.empty() && dq.front().readyAt <= now_ &&
+           backend_->canDispatch(dq.front())) {
+        backend_->dispatch(dq.front(), now_);
+        dq.pop_front();
+        --budget;
+    }
+
+    fetch_->tick(now_);
+    fdip_->tick(now_);
+    fe_->tick(now_);
+    ftq_->sampleOccupancy();
+
+    if (uftq_) {
+        uftq_->tick(mem_->stats(), mem_->l1iStats());
+    }
+    if (udp_) {
+        std::uint64_t unused = mem_->l1iStats().prefetchUnused;
+        if (unused > lastPfUnused) {
+            udp_->noteUnuseful(unused - lastPfUnused);
+            lastPfUnused = unused;
+        }
+        if ((now_ & 0x3ff) == 0) {
+            udp_->maintain();
+        }
+    }
+}
+
+void
+Cpu::runUntilRetired(std::uint64_t retire_target)
+{
+    while (backend_->retired() < retire_target) {
+        cycle();
+    }
+}
+
+void
+Cpu::clearStats()
+{
+    mem_->clearStats();
+    bpu_->clearStats();
+    bpu_->btb().clearStats();
+    bpu_->ibtb().clearStats();
+    ftq_->clearStats();
+    fe_->clearStats();
+    fetch_->clearStats();
+    fdip_->clearStats();
+    backend_->clearStats();
+    if (udp_) {
+        udp_->clearStats();
+    }
+    if (uftq_) {
+        uftq_->clearStats();
+    }
+    if (eip_) {
+        eip_->clearStats();
+    }
+    statsStartCycle_ = now_;
+    lastPfUnused = mem_->l1iStats().prefetchUnused;
+}
+
+} // namespace udp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The top-level simulated CPU: owns all components, wires the UDP/UFTQ
+ * hooks, advances the cycle loop and applies resteers.
+ */
+
+#ifndef UDP_SIM_CPU_H
+#define UDP_SIM_CPU_H
+
+#include <memory>
+
+#include "sim/simconfig.h"
+#include "workload/program.h"
+#include "workload/true_stream.h"
+
+namespace udp {
+
+/** Cycle-level model of the whole system. */
+class Cpu
+{
+  public:
+    Cpu(const Program& prog, const SimConfig& cfg);
+
+    /** Advances one cycle. */
+    void cycle();
+
+    /** Runs until @p retire_target instructions have retired. */
+    void runUntilRetired(std::uint64_t retire_target);
+
+    /** Clears all statistics (start of the measurement window). */
+    void clearStats();
+
+    Cycle now() const { return now_; }
+    /** Cycles elapsed since the last clearStats() (measurement window). */
+    Cycle cyclesSinceClear() const { return now_ - statsStartCycle_; }
+    std::uint64_t retired() const { return backend_->retired(); }
+
+    const MemSystem& mem() const { return *mem_; }
+    const Bpu& bpu() const { return *bpu_; }
+    const Ftq& ftq() const { return *ftq_; }
+    const FdipEngine& fdip() const { return *fdip_; }
+    const FetchStage& fetch() const { return *fetch_; }
+    const DecoupledFrontend& frontend() const { return *fe_; }
+    const Backend& backend() const { return *backend_; }
+    const UdpEngine* udp() const { return udp_.get(); }
+    const UftqController* uftq() const { return uftq_.get(); }
+    const Eip* eip() const { return eip_.get(); }
+
+    const SimConfig& config() const { return cfg; }
+
+  private:
+    void applyResteer(const ResteerRequest& req);
+
+    SimConfig cfg;
+    const Program& program;
+
+    std::unique_ptr<TrueStream> stream_;
+    std::unique_ptr<Bpu> bpu_;
+    std::unique_ptr<MemSystem> mem_;
+    std::unique_ptr<Ftq> ftq_;
+    BranchRecordMap records_;
+    std::unique_ptr<DecoupledFrontend> fe_;
+    std::unique_ptr<FetchStage> fetch_;
+    std::unique_ptr<FdipEngine> fdip_;
+    std::unique_ptr<Backend> backend_;
+    std::unique_ptr<UdpEngine> udp_;
+    std::unique_ptr<UftqController> uftq_;
+    std::unique_ptr<Eip> eip_;
+
+    Cycle now_ = 0;
+    Cycle statsStartCycle_ = 0;
+    std::uint64_t lastPfUnused = 0; ///< for UDP clear-policy feedback
+};
+
+} // namespace udp
+
+#endif // UDP_SIM_CPU_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The experiment API used by benches, examples and integration tests:
+ * build a workload, run warmup + measurement, and collect a Report with
+ * every derived metric the paper's figures need.
+ */
+
+#ifndef UDP_SIM_RUNNER_H
+#define UDP_SIM_RUNNER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cpu.h"
+#include "stats/stats.h"
+#include "workload/profile.h"
+
+namespace udp {
+
+/** Derived results of one simulation window. */
+struct Report
+{
+    std::string workload;
+    std::string configName;
+
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    double ipc = 0.0;
+
+    // Instruction cache behaviour.
+    double icacheMpki = 0.0;
+    double mshrHitsPki = 0.0;
+    /** Timeliness over prefetched lines: resident hits /
+     *  (resident hits + fill-buffer merges) (Fig. 4, Table III). */
+    double timeliness = 0.0;
+    /** Overall demand ratio L1I hits / (L1I hits + fill-buffer hits). */
+    double l1HitRatio = 0.0;
+    /** Instructions lost to icache-miss stalls per kilo-instr (Fig. 15). */
+    double lostInstrPerKilo = 0.0;
+
+    // Prefetch behaviour.
+    std::uint64_t prefetchesEmitted = 0;
+    /** On-path / (on+off) emitted prefetch ratio (Fig. 5). */
+    double onPathRatio = 0.0;
+    /** Ground-truth useful / (useful+useless) ratio (Fig. 6). */
+    double usefulness = 0.0;
+    /** Hardware-visible utility ratio (what UFTQ measures). */
+    double usefulnessHw = 0.0;
+
+    // Frontend behaviour.
+    double avgFtqOccupancy = 0.0;
+    double branchMpki = 0.0;
+    double condMispredictRate = 0.0;
+    std::uint64_t resteers = 0;
+    std::uint64_t decodeCorrections = 0;
+
+    // UDP internals (zero when UDP is off).
+    std::uint64_t udpDropped = 0;
+    std::uint64_t udpFilteredEmits = 0;
+    std::uint64_t udpLearned = 0;
+
+    /** Flattened view for generic printing. */
+    StatSet toStatSet() const;
+};
+
+/** Run options. */
+struct RunOptions
+{
+    std::uint64_t warmupInstrs = 500'000;
+    std::uint64_t measureInstrs = 1'000'000;
+};
+
+/**
+ * Builds the Program for @p profile (cached across calls), runs a Cpu with
+ * @p cfg and returns the measurement-window Report.
+ */
+Report runSim(const Profile& profile, const SimConfig& cfg,
+              const RunOptions& opts, std::string config_name = "");
+
+/** Collects a Report from an already-run Cpu measurement window. */
+Report collectReport(const Cpu& cpu, std::string workload,
+                     std::string config_name);
+
+/**
+ * Reads bench scaling from the environment: UDP_BENCH_WARMUP and
+ * UDP_BENCH_INSTR (instruction counts), falling back to @p defaults.
+ */
+RunOptions envRunOptions(RunOptions defaults = RunOptions{});
+
+/** Geometric mean of a vector of positive speedups/ratios. */
+double geomean(const std::vector<double>& xs);
+
+/** Pearson correlation coefficient of two equally sized vectors. */
+double correlation(const std::vector<double>& a,
+                   const std::vector<double>& b);
+
+} // namespace udp
+
+#endif // UDP_SIM_RUNNER_H

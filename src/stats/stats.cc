@@ -1,0 +1,48 @@
+#include "stats/stats.h"
+
+#include <sstream>
+
+namespace udp {
+
+void
+StatSet::add(std::string name, double value)
+{
+    items.emplace_back(std::move(name), value);
+}
+
+double
+StatSet::get(const std::string& name, bool* found) const
+{
+    for (const auto& [n, v] : items) {
+        if (n == name) {
+            if (found) {
+                *found = true;
+            }
+            return v;
+        }
+    }
+    if (found) {
+        *found = false;
+    }
+    return 0.0;
+}
+
+bool
+StatSet::has(const std::string& name) const
+{
+    bool found = false;
+    get(name, &found);
+    return found;
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto& [n, v] : items) {
+        os << n << " = " << v << '\n';
+    }
+    return os.str();
+}
+
+} // namespace udp

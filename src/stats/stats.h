@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Lightweight named-statistics support.
+ *
+ * Components keep plain uint64_t members for speed and export them into a
+ * StatSet when a report is requested. StatSet supports dump/diff so benches
+ * can measure post-warmup windows.
+ */
+
+#ifndef UDP_STATS_STATS_H
+#define UDP_STATS_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace udp {
+
+/** An ordered collection of (name, value) statistics. */
+class StatSet
+{
+  public:
+    /** Appends a statistic; names should be unique within a set. */
+    void add(std::string name, double value);
+
+    /** Value lookup; returns 0 and sets @p found=false when missing. */
+    double get(const std::string& name, bool* found = nullptr) const;
+
+    /** True when a statistic of that name exists. */
+    bool has(const std::string& name) const;
+
+    const std::vector<std::pair<std::string, double>>& entries() const
+    {
+        return items;
+    }
+
+    /** Renders "name = value" lines, one per entry. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::pair<std::string, double>> items;
+};
+
+/** Safe ratio helper: returns 0 when the denominator is 0. */
+inline double
+ratio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+} // namespace udp
+
+#endif // UDP_STATS_STATS_H

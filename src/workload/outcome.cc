@@ -1,0 +1,141 @@
+#include "workload/outcome.h"
+
+#include "common/rng.h"
+
+namespace udp {
+
+namespace {
+
+/** Converts a hash to a uniform [0,1) double. */
+double
+frac(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/** Base (noise-free) outcome shared by true and wrong path. */
+bool
+baseOutcome(const BranchBehavior& b, std::uint64_t hist, std::uint64_t count)
+{
+    switch (b.cls) {
+      case BranchClass::Biased:
+        return frac(hashCombine(b.seed, count)) < b.takenProb;
+      case BranchClass::Pattern: {
+        std::uint64_t mask = b.historyBits >= 64
+                                 ? ~0ULL
+                                 : ((1ULL << b.historyBits) - 1);
+        return (hashCombine(b.seed, hist & mask) & 1) != 0;
+      }
+      case BranchClass::Loop:
+        return (count % b.trip) != (b.trip - 1);
+    }
+    return false;
+}
+
+bool
+applyNoise(const BranchBehavior& b, bool base, std::uint64_t salt)
+{
+    if (b.noise <= 0.0f) {
+        return base;
+    }
+    bool flip = frac(hashCombine(b.seed ^ 0xa5a5u, salt)) < b.noise;
+    return flip ? !base : base;
+}
+
+} // namespace
+
+bool
+condOutcome(const BranchBehavior& b, std::uint64_t hist, std::uint64_t count)
+{
+    bool base = baseOutcome(b, hist, count);
+    return applyNoise(b, base, count);
+}
+
+bool
+condOutcomeWrongPath(const BranchBehavior& b, std::uint64_t spec_hist,
+                     std::uint64_t salt)
+{
+    // No architectural instance count on the wrong path: substitute a salt
+    // derived from the speculative context. Loop branches become biased.
+    std::uint64_t pseudo_count = hashCombine(b.seed, spec_hist, salt);
+    bool base;
+    switch (b.cls) {
+      case BranchClass::Biased:
+        base = frac(hashCombine(b.seed, pseudo_count)) < b.takenProb;
+        break;
+      case BranchClass::Pattern: {
+        std::uint64_t mask = b.historyBits >= 64
+                                 ? ~0ULL
+                                 : ((1ULL << b.historyBits) - 1);
+        base = (hashCombine(b.seed, spec_hist & mask) & 1) != 0;
+        break;
+      }
+      case BranchClass::Loop: {
+        double p_taken = b.trip <= 1
+                             ? 0.0
+                             : static_cast<double>(b.trip - 1) / b.trip;
+        base = frac(pseudo_count) < p_taken;
+        break;
+      }
+      default:
+        base = false;
+    }
+    return applyNoise(b, base, pseudo_count);
+}
+
+std::uint32_t
+indirectChoice(const IndirectBehavior& b, std::uint64_t hist,
+               std::uint64_t count)
+{
+    if (b.numTargets <= 1) {
+        return 0;
+    }
+    std::uint64_t h;
+    if (b.historyBits == 0) {
+        h = hashCombine(b.seed, count);
+    } else {
+        std::uint64_t mask = (1ULL << b.historyBits) - 1;
+        h = hashCombine(b.seed, hist & mask);
+        if (b.noise > 0.0f &&
+            frac(hashCombine(b.seed ^ 0x9191u, count)) < b.noise) {
+            h = hashCombine(b.seed, count, hist);
+        }
+    }
+    return static_cast<std::uint32_t>(h % b.numTargets);
+}
+
+std::uint32_t
+indirectChoiceWrongPath(const IndirectBehavior& b, std::uint64_t spec_hist,
+                        std::uint64_t salt)
+{
+    if (b.numTargets <= 1) {
+        return 0;
+    }
+    std::uint64_t h;
+    if (b.historyBits == 0) {
+        h = hashCombine(b.seed, spec_hist, salt);
+    } else {
+        std::uint64_t mask = (1ULL << b.historyBits) - 1;
+        h = hashCombine(b.seed, spec_hist & mask);
+    }
+    return static_cast<std::uint32_t>(h % b.numTargets);
+}
+
+Addr
+memAddress(const MemPattern& p, std::uint64_t count)
+{
+    if (p.size == 0) {
+        return p.base;
+    }
+    std::uint64_t off;
+    if (p.stride != 0) {
+        off = (count * p.stride) % p.size;
+    } else {
+        // Random 8-byte-aligned slot within the region.
+        std::uint64_t slots = p.size / 8 ? p.size / 8 : 1;
+        off = (hashCombine(p.seed, count) % slots) * 8;
+    }
+    return p.base + off;
+}
+
+} // namespace udp

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Binary serialization of Programs: save a generated workload to disk and
+ * reload it exactly (the moral equivalent of the paper's shareable trace
+ * artifacts — a saved Program plus the deterministic outcome models fully
+ * determines the dynamic instruction stream).
+ */
+
+#ifndef UDP_WORKLOAD_SERIALIZE_H
+#define UDP_WORKLOAD_SERIALIZE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/program.h"
+
+namespace udp {
+
+/** Writes @p prog to @p os; throws std::runtime_error on stream failure. */
+void saveProgram(const Program& prog, std::ostream& os);
+
+/** Convenience: saves to a file path. */
+void saveProgramFile(const Program& prog, const std::string& path);
+
+/**
+ * Reads a Program previously written by saveProgram. Validates the magic,
+ * version and internal consistency; throws std::runtime_error on any
+ * mismatch or corruption.
+ */
+Program loadProgram(std::istream& is);
+
+/** Convenience: loads from a file path. */
+Program loadProgramFile(const std::string& path);
+
+} // namespace udp
+
+#endif // UDP_WORKLOAD_SERIALIZE_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The architectural (true-path) walker: functionally executes a Program one
+ * instruction at a time, producing the ground-truth dynamic stream the
+ * backend retires and against which the speculating frontend is scored.
+ */
+
+#ifndef UDP_WORKLOAD_WALKER_H
+#define UDP_WORKLOAD_WALKER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/program.h"
+
+namespace udp {
+
+/** One architecturally executed instruction instance. */
+struct ArchInstr
+{
+    InstIdx idx = 0;
+    Addr pc = kInvalidAddr;
+    /** Address of the next architectural instruction. */
+    Addr nextPc = kInvalidAddr;
+    /** Conditional branches only: true outcome. */
+    bool taken = false;
+    /** Branches only: true target pc when taken (== nextPc if taken). */
+    Addr takenTarget = kInvalidAddr;
+    /** Loads/stores only: effective address. */
+    Addr memAddr = kInvalidAddr;
+};
+
+/**
+ * Steps through a Program along the architecturally correct path.
+ *
+ * Keeps the global conditional-outcome history, per-static-instruction
+ * instance counts (driving loop trip counts and memory strides) and the
+ * call stack. When execution falls off the call stack (return with an empty
+ * stack) it restarts at the program entry, modelling a steady-state region
+ * that loops forever.
+ */
+class Walker
+{
+  public:
+    explicit Walker(const Program& prog);
+
+    /** Executes and returns the next architectural instruction. */
+    ArchInstr step();
+
+    /** Current (next-to-execute) pc. */
+    Addr pc() const { return program.pcOf(cur); }
+
+    /** Global conditional outcome history (bit 0 = most recent). */
+    std::uint64_t history() const { return hist; }
+
+    /** Number of instructions stepped so far. */
+    std::uint64_t numSteps() const { return steps; }
+
+    /** Current call-stack depth. */
+    std::size_t callDepth() const { return callStack.size(); }
+
+  private:
+    const Program& program;
+    InstIdx cur;
+    std::uint64_t hist = 0;
+    std::uint64_t steps = 0;
+    std::vector<std::uint32_t> counts;
+    std::vector<InstIdx> callStack;
+};
+
+} // namespace udp
+
+#endif // UDP_WORKLOAD_WALKER_H

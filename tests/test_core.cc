@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Tests for the paper's core contributions: Bloom filters, the useful-set
+ * with super-line coalescing, the Seniority-FTQ, the off-path confidence
+ * estimator, the UDP engine and the UFTQ controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/udp_engine.h"
+#include "core/uftq.h"
+
+namespace udp {
+namespace {
+
+// ----------------------------------------------------------------- bloom
+
+TEST(Bloom, NoFalseNegatives)
+{
+    BloomFilter f(16 * 1024, 6);
+    Rng rng(3);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 1500; ++i) {
+        keys.push_back(rng.next());
+        f.insert(keys.back());
+    }
+    for (std::uint64_t k : keys) {
+        EXPECT_TRUE(f.contains(k));
+    }
+}
+
+TEST(Bloom, FalsePositiveRateNearOnePercent)
+{
+    BloomFilter f(16 * 1024, 6);
+    Rng rng(7);
+    for (std::uint64_t i = 0; i < f.capacityElements(); ++i) {
+        f.insert(rng.next());
+    }
+    int fps = 0;
+    const int probes = 20000;
+    for (int i = 0; i < probes; ++i) {
+        fps += f.contains(mix64(0xdead0000 + i));
+    }
+    double rate = static_cast<double>(fps) / probes;
+    EXPECT_LT(rate, 0.05);
+}
+
+TEST(Bloom, ClearEmpties)
+{
+    BloomFilter f(1024, 6);
+    f.insert(42);
+    EXPECT_TRUE(f.contains(42));
+    f.clear();
+    EXPECT_FALSE(f.contains(42));
+    EXPECT_EQ(f.insertions(), 0u);
+    EXPECT_DOUBLE_EQ(f.fillRatio(), 0.0);
+}
+
+TEST(Bloom, FullAtNominalCapacity)
+{
+    BloomFilter f(1024, 6);
+    EXPECT_FALSE(f.full());
+    for (std::uint64_t i = 0; i <= f.capacityElements(); ++i) {
+        f.insert(mix64(i));
+    }
+    EXPECT_TRUE(f.full());
+}
+
+class BloomSizeSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BloomSizeSweep, EmptyFilterRejectsEverything)
+{
+    BloomFilter f(GetParam(), 6);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(f.contains(mix64(i)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BloomSizeSweep,
+                         ::testing::Values(std::size_t{64},
+                                           std::size_t{1024},
+                                           std::size_t{16 * 1024}));
+
+// ------------------------------------------------------------ useful set
+
+TEST(UsefulSet, LearnThenLookup)
+{
+    UsefulSet set{UsefulSetConfig{}};
+    // Learn scattered lines so no coalescing: they surface as 1-blocks
+    // once pushed out of the 8-entry buffer.
+    for (int i = 0; i < 20; ++i) {
+        set.learn(0x400000 + static_cast<Addr>(i) * 0x1000);
+    }
+    // The first learned lines have left the buffer and are queryable.
+    EXPECT_EQ(set.lookup(0x400000), 1u);
+    EXPECT_EQ(set.lookup(0x401000), 1u);
+    EXPECT_EQ(set.lookup(0x777000), 0u);
+}
+
+TEST(UsefulSet, CoalescesFourConsecutiveLines)
+{
+    UsefulSet set{UsefulSetConfig{}};
+    // Four consecutive lines of an aligned 256B group, base evicted first.
+    Addr base = 0x400400; // 256-aligned
+    set.learn(base);
+    set.learn(base + 64);
+    set.learn(base + 128);
+    set.learn(base + 192);
+    // Flush the buffer with unrelated lines.
+    for (int i = 0; i < 10; ++i) {
+        set.learn(0x900000 + static_cast<Addr>(i) * 0x1000);
+    }
+    EXPECT_EQ(set.lookup(base), 4u);
+    EXPECT_EQ(set.lookup(base + 128), 4u);
+    EXPECT_EQ(UsefulSet::spanBase(base + 128, 4), base);
+    EXPECT_GE(set.stats().inserts4, 1u);
+}
+
+TEST(UsefulSet, CoalescesTwoConsecutiveLines)
+{
+    UsefulSet set{UsefulSetConfig{}};
+    Addr base = 0x400380; // 128-aligned, not 256-aligned
+    set.learn(base);
+    set.learn(base + 64);
+    for (int i = 0; i < 10; ++i) {
+        set.learn(0x900000 + static_cast<Addr>(i) * 0x1000);
+    }
+    EXPECT_EQ(set.lookup(base), 2u);
+    EXPECT_EQ(set.lookup(base + 64), 2u);
+    EXPECT_GE(set.stats().inserts2, 1u);
+}
+
+TEST(UsefulSet, SpanBase)
+{
+    EXPECT_EQ(UsefulSet::spanBase(0x1040, 1), 0x1040u);
+    EXPECT_EQ(UsefulSet::spanBase(0x1040, 2), 0x1000u);
+    EXPECT_EQ(UsefulSet::spanBase(0x10c0, 4), 0x1000u);
+}
+
+TEST(UsefulSet, ClearPolicyFiresWhenFullAndUnuseful)
+{
+    UsefulSetConfig cfg;
+    cfg.bits1 = 512; // tiny: fills fast
+    cfg.bits2 = 128;
+    cfg.bits4 = 128;
+    cfg.minEmittedForClear = 10;
+    UsefulSet set(cfg);
+    for (int i = 0; i < 200; ++i) {
+        set.learn(0x400000 + static_cast<Addr>(i) * 0x1000);
+    }
+    for (int i = 0; i < 100; ++i) {
+        set.noteEmitted();
+    }
+    set.noteUnuseful(90); // 90% unuseful
+    set.maybeClear();
+    EXPECT_EQ(set.stats().clears, 1u);
+    EXPECT_EQ(set.lookup(0x400000), 0u);
+}
+
+TEST(UsefulSet, NoClearWhenUseful)
+{
+    UsefulSetConfig cfg;
+    cfg.bits1 = 512;
+    cfg.minEmittedForClear = 10;
+    UsefulSet set(cfg);
+    for (int i = 0; i < 200; ++i) {
+        set.learn(0x400000 + static_cast<Addr>(i) * 0x1000);
+    }
+    for (int i = 0; i < 100; ++i) {
+        set.noteEmitted();
+    }
+    set.noteUnuseful(10); // only 10% unuseful
+    set.maybeClear();
+    EXPECT_EQ(set.stats().clears, 0u);
+}
+
+TEST(UsefulSet, InfiniteModeExactAndUnbounded)
+{
+    UsefulSetConfig cfg;
+    cfg.infiniteStorage = true;
+    UsefulSet set(cfg);
+    for (int i = 0; i < 5000; ++i) {
+        set.learn(0x400000 + static_cast<Addr>(i) * 64);
+    }
+    EXPECT_EQ(set.lookup(0x400000), 1u);
+    EXPECT_EQ(set.lookup(0x400000 + 4999 * 64), 1u);
+    EXPECT_EQ(set.lookup(0x900000), 0u);
+    set.maybeClear();
+    EXPECT_EQ(set.lookup(0x400000), 1u); // never cleared
+}
+
+TEST(UsefulSet, StorageBudgetIs8KBClass)
+{
+    UsefulSet set{UsefulSetConfig{}};
+    // 16k + 1k + 1k bits of filters ≈ 2.3KB; with the engine's other
+    // structures the paper quotes 8KB total (checked in UdpEngine test).
+    EXPECT_LE(set.storageBits() / 8, 8 * 1024u);
+}
+
+// --------------------------------------------------------- seniority FTQ
+
+TEST(SeniorityFtq, InsertMatchRemove)
+{
+    SeniorityFtq s{SeniorityFtqConfig{}};
+    s.insert(0x400040, 1);
+    EXPECT_TRUE(s.matchAndRemove(0x400040));
+    EXPECT_FALSE(s.matchAndRemove(0x400040)); // consumed
+}
+
+TEST(SeniorityFtq, MatchesByLineNotExactAddress)
+{
+    SeniorityFtq s{SeniorityFtqConfig{}};
+    s.insert(0x400044, 1);
+    EXPECT_TRUE(s.matchAndRemove(0x400078)); // same 64B line
+}
+
+TEST(SeniorityFtq, DeduplicatesInserts)
+{
+    SeniorityFtq s{SeniorityFtqConfig{}};
+    s.insert(0x400040, 1);
+    s.insert(0x400040, 2);
+    s.insert(0x400044, 3);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.stats().inserts, 1u);
+}
+
+TEST(SeniorityFtq, CapacityEvictsOldest)
+{
+    SeniorityFtqConfig cfg;
+    cfg.capacity = 4;
+    SeniorityFtq s(cfg);
+    for (int i = 0; i < 6; ++i) {
+        s.insert(0x400000 + static_cast<Addr>(i) * 64, static_cast<std::uint64_t>(i));
+    }
+    EXPECT_EQ(s.size(), 4u);
+    EXPECT_FALSE(s.matchAndRemove(0x400000));
+    EXPECT_TRUE(s.matchAndRemove(0x400000 + 5 * 64));
+    EXPECT_EQ(s.stats().capacityEvictions, 2u);
+}
+
+TEST(SeniorityFtq, KeepPolicySurvivesFlush)
+{
+    SeniorityFtq s{SeniorityFtqConfig{}}; // Keep by default
+    s.insert(0x400040, 100);
+    s.onFlush(50);
+    EXPECT_TRUE(s.matchAndRemove(0x400040));
+}
+
+TEST(SeniorityFtq, DropYoungerPolicyRemovesOnFlush)
+{
+    SeniorityFtqConfig cfg;
+    cfg.flushPolicy = SftqFlushPolicy::DropYounger;
+    SeniorityFtq s(cfg);
+    s.insert(0x400040, 10);
+    s.insert(0x400080, 100);
+    s.onFlush(50);
+    EXPECT_FALSE(s.matchAndRemove(0x400080)); // younger: dropped
+    EXPECT_TRUE(s.matchAndRemove(0x400040));  // older: kept
+    EXPECT_EQ(s.stats().flushDrops, 1u);
+}
+
+// ------------------------------------------------------------ confidence
+
+TEST(Confidence, WeightsAndThreshold)
+{
+    ConfidenceConfig cfg;
+    cfg.threshold = 4;
+    OffPathConfidence c(cfg);
+    EXPECT_FALSE(c.assumedOffPath());
+    c.onCondPredicted(Confidence::High); // +0
+    EXPECT_FALSE(c.assumedOffPath());
+    c.onCondPredicted(Confidence::Low); // +2
+    c.onCondPredicted(Confidence::Med); // +1
+    EXPECT_FALSE(c.assumedOffPath());
+    c.onCondPredicted(Confidence::Med); // +1 -> 4
+    EXPECT_TRUE(c.assumedOffPath());
+}
+
+TEST(Confidence, ResetOnRecovery)
+{
+    ConfidenceConfig cfg;
+    cfg.threshold = 2;
+    OffPathConfidence c(cfg);
+    c.onCondPredicted(Confidence::Low);
+    EXPECT_TRUE(c.assumedOffPath());
+    c.reset();
+    EXPECT_FALSE(c.assumedOffPath());
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Confidence, BtbMissBumpForcesAssumption)
+{
+    ConfidenceConfig cfg;
+    cfg.threshold = 6;
+    cfg.btbMissBump = 6;
+    OffPathConfidence c(cfg);
+    c.onBtbMissTaken();
+    EXPECT_TRUE(c.assumedOffPath());
+}
+
+TEST(Confidence, CounterSaturates)
+{
+    ConfidenceConfig cfg;
+    cfg.counterMax = 5;
+    OffPathConfidence c(cfg);
+    for (int i = 0; i < 100; ++i) {
+        c.onCondPredicted(Confidence::Low);
+    }
+    EXPECT_EQ(c.value(), 5u);
+}
+
+// ------------------------------------------------------------ UDP engine
+
+FtqEntry
+makeEntry(Addr pc, bool assumed_off, std::uint64_t id = 1)
+{
+    FtqEntry e;
+    e.id = id;
+    e.startPc = pc;
+    e.assumedOffPath = assumed_off;
+    return e;
+}
+
+TEST(UdpEngine, OnPathAssumedAlwaysEmits)
+{
+    UdpEngine udp{UdpConfig{}};
+    UdpDecision d = udp.evaluate(makeEntry(0x400000, false), 0x400000);
+    EXPECT_TRUE(d.emit);
+    EXPECT_EQ(d.span, 1u);
+}
+
+TEST(UdpEngine, OffPathAssumedFilteredByUsefulSet)
+{
+    UdpEngine udp{UdpConfig{}};
+    UdpDecision d = udp.evaluate(makeEntry(0x400000, true), 0x400000);
+    EXPECT_FALSE(d.emit); // nothing learned yet
+    EXPECT_EQ(udp.stats().droppedFiltered, 1u);
+}
+
+TEST(UdpEngine, LearnsThroughRetirementLoop)
+{
+    UdpEngine udp{UdpConfig{}};
+    // Candidate evaluated while assumed off-path -> enters Seniority-FTQ.
+    udp.evaluate(makeEntry(0x400000, true), 0x400000);
+    // An instruction in the same line retires (merge point!).
+    udp.onRetire(0x400020);
+    EXPECT_EQ(udp.stats().retireMatches, 1u);
+    // Push the learned line out of the coalescing buffer.
+    for (int i = 1; i <= 10; ++i) {
+        udp.evaluate(makeEntry(0x900000 + static_cast<Addr>(i) * 0x1000, true),
+                     0x900000 + static_cast<Addr>(i) * 0x1000);
+        udp.onRetire(0x900000 + static_cast<Addr>(i) * 0x1000);
+    }
+    // Now the line is in the useful set: the candidate emits.
+    UdpDecision d = udp.evaluate(makeEntry(0x400000, true, 99), 0x400000);
+    EXPECT_TRUE(d.emit);
+}
+
+TEST(UdpEngine, RetireWithoutCandidateDoesNotLearn)
+{
+    UdpEngine udp{UdpConfig{}};
+    udp.onRetire(0x400000);
+    EXPECT_EQ(udp.stats().retireMatches, 0u);
+}
+
+TEST(UdpEngine, StorageBudgetIs8KB)
+{
+    UdpEngine udp{UdpConfig{}};
+    EXPECT_LE(udp.storageBits() / 8, 8u * 1024);
+    EXPECT_GE(udp.storageBits() / 8, 2u * 1024);
+}
+
+TEST(UdpEngine, ResteerResetsConfidence)
+{
+    UdpEngine udp{UdpConfig{}};
+    for (int i = 0; i < 20; ++i) {
+        udp.onCondPredicted(Confidence::Low);
+    }
+    EXPECT_TRUE(udp.assumedOffPath());
+    udp.onResteer();
+    EXPECT_FALSE(udp.assumedOffPath());
+}
+
+// ------------------------------------------------------------------ UFTQ
+
+TEST(Uftq, PolynomialMatchesPaperFormula)
+{
+    // Hand-computed reference values of the paper's regression.
+    EXPECT_NEAR(UftqController::combine(32, 32), 19.84, 0.01);
+    EXPECT_NEAR(UftqController::combine(60, 60), 54.0, 0.01);
+    EXPECT_NEAR(UftqController::combine(0, 0), 0.0, 1e-9);
+}
+
+TEST(Uftq, AurRuleGrowsWhenUtilityHigh)
+{
+    Ftq ftq(128, 32);
+    UftqConfig cfg;
+    cfg.mode = UftqMode::Aur;
+    cfg.epochPrefetches = 10;
+    UftqController ctl(ftq, cfg);
+
+    MemSysStats mem;
+    CacheStats l1i;
+    // Epoch with utility 1.0 (all prefetches consumed).
+    mem.iprefIssued = 20;
+    l1i.prefetchHits = 20;
+    ctl.tick(mem, l1i);
+    EXPECT_GT(ctl.currentDepth(), 32u);
+    EXPECT_EQ(ftq.capacity(), ctl.currentDepth());
+}
+
+TEST(Uftq, AurRuleShrinksWhenUtilityLow)
+{
+    Ftq ftq(128, 32);
+    UftqConfig cfg;
+    cfg.mode = UftqMode::Aur;
+    cfg.epochPrefetches = 10;
+    UftqController ctl(ftq, cfg);
+
+    MemSysStats mem;
+    CacheStats l1i;
+    mem.iprefIssued = 20;
+    l1i.prefetchHits = 1;
+    l1i.prefetchUnused = 19; // utility 0.05
+    ctl.tick(mem, l1i);
+    EXPECT_LT(ctl.currentDepth(), 32u);
+}
+
+TEST(Uftq, AtrRuleGrowsWhenPrefetchesLate)
+{
+    Ftq ftq(128, 32);
+    UftqConfig cfg;
+    cfg.mode = UftqMode::Atr;
+    cfg.epochPrefetches = 10;
+    UftqController ctl(ftq, cfg);
+
+    MemSysStats mem;
+    CacheStats l1i;
+    mem.iprefIssued = 20;
+    mem.ifetchTimelyPrefetchHits = 2;
+    mem.pfMshrMergesHw = 18; // timeliness 0.1: very late
+    ctl.tick(mem, l1i);
+    EXPECT_GT(ctl.currentDepth(), 32u);
+}
+
+TEST(Uftq, DeadbandHolds)
+{
+    Ftq ftq(128, 32);
+    UftqConfig cfg;
+    cfg.mode = UftqMode::Aur;
+    cfg.epochPrefetches = 10;
+    cfg.aur = 0.65;
+    cfg.deadband = 0.05;
+    UftqController ctl(ftq, cfg);
+
+    MemSysStats mem;
+    CacheStats l1i;
+    mem.iprefIssued = 100;
+    l1i.prefetchHits = 66;
+    l1i.prefetchUnused = 34; // utility 0.66: inside the deadband
+    ctl.tick(mem, l1i);
+    EXPECT_EQ(ctl.currentDepth(), 32u);
+}
+
+TEST(Uftq, RespectsPhysicalBound)
+{
+    Ftq ftq(64, 32);
+    UftqConfig cfg;
+    cfg.mode = UftqMode::Aur;
+    cfg.epochPrefetches = 1;
+    UftqController ctl(ftq, cfg);
+
+    MemSysStats mem;
+    CacheStats l1i;
+    for (int i = 0; i < 50; ++i) {
+        mem.iprefIssued += 10;
+        l1i.prefetchHits += 10; // always perfect utility
+        ctl.tick(mem, l1i);
+    }
+    EXPECT_LE(ctl.currentDepth(), 64u);
+}
+
+TEST(Uftq, AtrAurConvergesToCombination)
+{
+    Ftq ftq(128, 32);
+    UftqConfig cfg;
+    cfg.mode = UftqMode::AtrAur;
+    cfg.epochPrefetches = 1;
+    cfg.searchEpochs = 4;
+    UftqController ctl(ftq, cfg);
+
+    MemSysStats mem;
+    CacheStats l1i;
+    for (int i = 0; i < 10; ++i) {
+        mem.iprefIssued += 10;
+        l1i.prefetchHits += 8;
+        l1i.prefetchUnused += 2;
+        mem.ifetchTimelyPrefetchHits += 5;
+        mem.pfMshrMergesHw += 5;
+        ctl.tick(mem, l1i);
+    }
+    EXPECT_GE(ctl.stats().applies, 1u);
+    EXPECT_GE(ctl.currentDepth(), cfg.minDepth);
+}
+
+} // namespace
+} // namespace udp

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Tests for the frontend: FTQ behaviour, decoupled block building against
+ * a hand-crafted program, FDIP probing, post-fetch correction and the
+ * EIP baseline prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/decoupled_fe.h"
+#include "frontend/fdip.h"
+#include "frontend/fetch.h"
+#include "prefetch/eip.h"
+
+namespace udp {
+namespace {
+
+// -------------------------------------------------------------------- FTQ
+
+TEST(Ftq, CapacityAndPushPop)
+{
+    Ftq q(64, 4);
+    EXPECT_TRUE(q.empty());
+    for (int i = 0; i < 4; ++i) {
+        FtqEntry e;
+        e.id = q.allocId();
+        e.startPc = 0x400000 + Addr{i} * 32;
+        q.push(std::move(e));
+    }
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.size(), 4u);
+    FtqEntry head = q.popFront();
+    EXPECT_EQ(head.startPc, 0x400000u);
+    EXPECT_FALSE(q.full());
+}
+
+TEST(Ftq, DynamicCapacityClamped)
+{
+    Ftq q(64, 32);
+    q.setCapacity(1000);
+    EXPECT_EQ(q.capacity(), 64u);
+    q.setCapacity(0);
+    EXPECT_EQ(q.capacity(), 1u);
+}
+
+TEST(Ftq, ShrinkRetainsEntries)
+{
+    Ftq q(64, 8);
+    for (int i = 0; i < 8; ++i) {
+        FtqEntry e;
+        e.id = q.allocId();
+        q.push(std::move(e));
+    }
+    q.setCapacity(2);
+    EXPECT_EQ(q.size(), 8u); // drains naturally
+    EXPECT_TRUE(q.full());
+}
+
+TEST(Ftq, FlushClearsAndCounts)
+{
+    Ftq q(64, 8);
+    FtqEntry e;
+    e.id = q.allocId();
+    q.push(std::move(e));
+    q.flush();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.stats().flushes, 1u);
+}
+
+TEST(Ftq, LineOfBlock)
+{
+    FtqEntry e;
+    e.startPc = 0x400020; // second 32B block of the line
+    EXPECT_EQ(e.line(), 0x400000u);
+}
+
+// -------------------------- hand-crafted program for frontend unit tests
+
+/**
+ * Builds:
+ *   0: alu
+ *   1: cond (Loop trip 4) -> target 5
+ *   2: alu
+ *   3: jump -> 0
+ *   4: alu (dead)
+ *   5: alu
+ *   6: return (wraps to entry)
+ */
+Program
+tinyProgram()
+{
+    std::vector<Instr> ins(7);
+    ins[1].type = InstrType::Branch;
+    ins[1].branch = BranchKind::CondDirect;
+    ins[1].target = 5;
+    ins[1].behavior = 0;
+    ins[3].type = InstrType::Branch;
+    ins[3].branch = BranchKind::Jump;
+    ins[3].target = 0;
+    ins[6].type = InstrType::Branch;
+    ins[6].branch = BranchKind::Return;
+
+    BranchBehavior loop;
+    loop.cls = BranchClass::Loop;
+    loop.trip = 4;
+    loop.noise = 0.0f;
+    Program p = Program::assemble("tiny", std::move(ins), 0, {loop}, {}, {},
+                                  {});
+    EXPECT_EQ(p.validate(), "");
+    return p;
+}
+
+struct FrontendHarness
+{
+    Program prog = tinyProgram();
+    TrueStream stream{prog};
+    Bpu bpu{BpuConfig{}};
+    Ftq ftq{64, 32};
+    BranchRecordMap records;
+    FrontendConfig cfg;
+    DecoupledFrontend fe{prog, stream, bpu, ftq, records, cfg};
+};
+
+TEST(DecoupledFrontend, ColdStartGoesSequential)
+{
+    FrontendHarness h;
+    h.fe.tick(1);
+    ASSERT_FALSE(h.ftq.empty());
+    const FtqEntry& e = h.ftq.at(0);
+    EXPECT_EQ(e.startPc, h.prog.entryPc());
+    // Cold BTB: the frontend sees no branches and fills the whole block.
+    EXPECT_EQ(e.numInstrs, kInstrsPerFetchBlock);
+    EXPECT_FALSE(e.instrs[1].predictedBranch);
+}
+
+TEST(DecoupledFrontend, DivergenceTaggedOnBtbMiss)
+{
+    FrontendHarness h;
+    h.fe.tick(1);
+    const FtqEntry& e = h.ftq.at(0);
+    // True path: 0,1(taken? loop trip 4 -> taken),... frontend went
+    // sequential past the cond branch at 1 => instructions after it are
+    // off-path (truth jumps to 5 only on exit; first iterations stay
+    // 0,1,2,3 -> check tags are consistent with the true stream).
+    EXPECT_TRUE(e.instrs[0].onPath);
+    EXPECT_TRUE(e.instrs[1].onPath);
+    // Truth for instr 1 (first instance of a trip-4 loop) is taken->5,
+    // frontend fell through to 2: diverged from instr 2 on.
+    EXPECT_FALSE(e.instrs[2].onPath);
+}
+
+TEST(DecoupledFrontend, PredictsThroughWarmBtb)
+{
+    FrontendHarness h;
+    // Warm the BTB as decode would.
+    h.bpu.btb().insert(h.prog.pcOf(1), BranchKind::CondDirect,
+                       h.prog.pcOf(5));
+    h.bpu.btb().insert(h.prog.pcOf(3), BranchKind::Jump, h.prog.pcOf(0));
+    h.fe.tick(1);
+    ASSERT_GE(h.ftq.size(), 1u);
+    const FtqEntry& e = h.ftq.at(0);
+    // The cond branch is now recognised.
+    EXPECT_TRUE(e.instrs[1].predictedBranch);
+    // A prediction record exists for it.
+    EXPECT_EQ(h.records.count(e.instrs[1].dynId), 1u);
+}
+
+TEST(DecoupledFrontend, ResteerRedirects)
+{
+    FrontendHarness h;
+    h.fe.tick(1);
+    h.ftq.flush();
+    h.fe.resteer(5, h.prog.pcOf(5), true, 0, false);
+    h.fe.tick(3); // still stalled
+    EXPECT_TRUE(h.ftq.empty());
+    // Rebuild alignment bookkeeping: resync stream index to a fresh pos.
+    // (Use index of pc 5 occurrence: simplest is aligned=false.)
+    h.fe.resteer(5, h.prog.pcOf(5), false, 0, false);
+    h.fe.tick(6);
+    ASSERT_FALSE(h.ftq.empty());
+    EXPECT_EQ(h.ftq.at(0).startPc, h.prog.pcOf(5));
+    EXPECT_GE(h.fe.stats().resteers, 2u);
+}
+
+TEST(DecoupledFrontend, StopsWhenFtqFull)
+{
+    FrontendHarness h;
+    for (Cycle t = 1; t < 100; ++t) {
+        h.fe.tick(t);
+    }
+    EXPECT_EQ(h.ftq.size(), h.ftq.capacity());
+    EXPECT_GT(h.fe.stats().stallCyclesFtqFull, 0u);
+}
+
+// ------------------------------------------------------------------- FDIP
+
+TEST(Fdip, PrefetchesMissingBlocks)
+{
+    MemSystem mem{MemSysConfig{}};
+    Ftq ftq(64, 32);
+    FdipEngine fdip(mem, ftq, FdipConfig{});
+
+    FtqEntry e;
+    e.id = 1;
+    e.startPc = 0x400000;
+    e.onPath = true;
+    ftq.push(std::move(e));
+
+    fdip.tick(1);
+    EXPECT_EQ(fdip.stats().candidates, 1u);
+    EXPECT_EQ(fdip.stats().emitted, 1u);
+    EXPECT_EQ(fdip.stats().emittedOnPath, 1u);
+    EXPECT_TRUE(mem.icacheLineInFlight(0x400000));
+}
+
+TEST(Fdip, SkipsResidentBlocks)
+{
+    MemSystem mem{MemSysConfig{}};
+    mem.icache().insert(0x400000, false);
+    Ftq ftq(64, 32);
+    FdipEngine fdip(mem, ftq, FdipConfig{});
+
+    FtqEntry e;
+    e.id = 1;
+    e.startPc = 0x400000;
+    ftq.push(std::move(e));
+    fdip.tick(1);
+    EXPECT_EQ(fdip.stats().candidates, 0u);
+    EXPECT_EQ(fdip.stats().emitted, 0u);
+}
+
+TEST(Fdip, RespectsScanBudget)
+{
+    MemSystem mem{MemSysConfig{}};
+    Ftq ftq(64, 32);
+    FdipConfig cfg;
+    cfg.blocksPerCycle = 2;
+    FdipEngine fdip(mem, ftq, cfg);
+
+    for (int i = 0; i < 6; ++i) {
+        FtqEntry e;
+        e.id = static_cast<std::uint64_t>(i + 1);
+        e.startPc = 0x400000 + Addr{i} * 64; // distinct lines
+        ftq.push(std::move(e));
+    }
+    fdip.tick(1);
+    EXPECT_EQ(fdip.stats().blocksScanned, 2u);
+    fdip.tick(2);
+    fdip.tick(3);
+    EXPECT_EQ(fdip.stats().blocksScanned, 6u);
+}
+
+TEST(Fdip, DisabledDoesNothing)
+{
+    MemSystem mem{MemSysConfig{}};
+    Ftq ftq(64, 32);
+    FdipConfig cfg;
+    cfg.enabled = false;
+    FdipEngine fdip(mem, ftq, cfg);
+    FtqEntry e;
+    e.id = 1;
+    e.startPc = 0x400000;
+    ftq.push(std::move(e));
+    fdip.tick(1);
+    EXPECT_EQ(fdip.stats().blocksScanned, 0u);
+}
+
+TEST(Fdip, FlushResetsScan)
+{
+    MemSystem mem{MemSysConfig{}};
+    Ftq ftq(64, 32);
+    FdipEngine fdip(mem, ftq, FdipConfig{});
+    for (int i = 0; i < 2; ++i) {
+        FtqEntry e;
+        e.id = static_cast<std::uint64_t>(i + 1);
+        e.startPc = 0x400000 + Addr{i} * 64;
+        ftq.push(std::move(e));
+    }
+    fdip.tick(1);
+    ftq.flush();
+    fdip.onFtqFlush();
+    FtqEntry e;
+    e.id = 10;
+    e.startPc = 0x500000;
+    ftq.push(std::move(e));
+    fdip.tick(2);
+    EXPECT_TRUE(mem.icacheLineInFlight(0x500000));
+}
+
+// -------------------------------------------------------------------- EIP
+
+TEST(Eip, EntanglesAndTriggers)
+{
+    MemSystem mem{MemSysConfig{}};
+    Eip eip(mem, EipConfig{});
+
+    Addr src = 0x400000;
+    Addr dst = 0x410000;
+    // Train: src accessed, then dst misses ~latencyTarget later.
+    for (int round = 0; round < 3; ++round) {
+        Cycle base = 1000 + static_cast<Cycle>(round) * 1000;
+        eip.onAccess(src, true, base);
+        eip.onAccess(dst, false, base + 120);
+    }
+    EXPECT_GE(eip.stats().entanglings, 1u);
+
+    // Trigger: accessing src prefetches dst.
+    eip.onAccess(src, true, 10000);
+    EXPECT_GE(eip.stats().prefetchesIssued, 1u);
+    EXPECT_TRUE(mem.icacheLineInFlight(dst) || mem.icacheContains(dst));
+}
+
+TEST(Eip, StorageBudgetIs8KBClass)
+{
+    MemSystem mem{MemSysConfig{}};
+    Eip eip(mem, EipConfig{});
+    EXPECT_LE(eip.storageBits() / 8, 10u * 1024);
+    EXPECT_GE(eip.storageBits() / 8, 4u * 1024);
+}
+
+TEST(Eip, NoTriggerWhenUntrained)
+{
+    MemSystem mem{MemSysConfig{}};
+    Eip eip(mem, EipConfig{});
+    eip.onAccess(0x400000, true, 100);
+    EXPECT_EQ(eip.stats().prefetchesIssued, 0u);
+}
+
+} // namespace
+} // namespace udp

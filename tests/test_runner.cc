@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the experiment API helpers: geomean, correlation, environment
+ * options, Report flattening and the preset configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/runner.h"
+
+namespace udp {
+namespace {
+
+TEST(Runner, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Runner, CorrelationPerfectAndInverse)
+{
+    EXPECT_NEAR(correlation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+    EXPECT_NEAR(correlation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Runner, CorrelationDegenerateInputs)
+{
+    EXPECT_DOUBLE_EQ(correlation({1.0}, {2.0}), 0.0);       // too short
+    EXPECT_DOUBLE_EQ(correlation({1, 2}, {1, 2, 3}), 0.0);  // size mismatch
+    EXPECT_DOUBLE_EQ(correlation({5, 5, 5}, {1, 2, 3}), 0.0); // zero var
+}
+
+TEST(Runner, EnvRunOptionsOverride)
+{
+    setenv("UDP_BENCH_WARMUP", "1234", 1);
+    setenv("UDP_BENCH_INSTR", "5678", 1);
+    RunOptions o = envRunOptions();
+    EXPECT_EQ(o.warmupInstrs, 1234u);
+    EXPECT_EQ(o.measureInstrs, 5678u);
+    unsetenv("UDP_BENCH_WARMUP");
+    unsetenv("UDP_BENCH_INSTR");
+    RunOptions d = envRunOptions();
+    EXPECT_EQ(d.warmupInstrs, RunOptions{}.warmupInstrs);
+}
+
+TEST(Runner, ReportStatSetHasCoreMetrics)
+{
+    Report r;
+    r.ipc = 1.5;
+    r.icacheMpki = 3.25;
+    StatSet s = r.toStatSet();
+    EXPECT_DOUBLE_EQ(s.get("ipc"), 1.5);
+    EXPECT_DOUBLE_EQ(s.get("icache_mpki"), 3.25);
+    EXPECT_TRUE(s.has("timeliness"));
+    EXPECT_TRUE(s.has("usefulness"));
+    EXPECT_TRUE(s.has("onpath_ratio"));
+    EXPECT_TRUE(s.has("avg_ftq_occupancy"));
+}
+
+TEST(Presets, TableIIDefaults)
+{
+    SimConfig c = presets::fdipBaseline();
+    EXPECT_EQ(c.ftqCapacity, 32u);               // Ishii baseline
+    EXPECT_EQ(c.mem.l1iSize, 32u * 1024);        // 32 KiB 8-way L1I
+    EXPECT_EQ(c.mem.l1iAssoc, 8u);
+    EXPECT_EQ(c.mem.l1dSize, 48u * 1024);        // 48 KiB 12-way L1D
+    EXPECT_EQ(c.mem.l2Size, 512u * 1024);
+    EXPECT_EQ(c.mem.llcSize, 2u * 1024 * 1024);
+    EXPECT_EQ(c.bpu.btb.numEntries, 8192u);      // 8K BTB
+    EXPECT_EQ(c.backend.robSize, 352u);          // Sunny-Cove-like
+    EXPECT_EQ(c.backend.rsSize, 125u);
+    EXPECT_EQ(c.backend.numAlu, 4u);
+    EXPECT_EQ(c.backend.numLoad, 2u);
+    EXPECT_EQ(c.backend.numStore, 2u);
+    EXPECT_EQ(c.frontend.blocksPerCycle, 2u);    // FTQ blocks/cycle
+}
+
+TEST(Presets, VariantsDiffer)
+{
+    EXPECT_TRUE(presets::perfectIcache().mem.perfectIcache);
+    EXPECT_FALSE(presets::noPrefetch().fdip.enabled);
+    EXPECT_TRUE(presets::udp8k().udpEnabled);
+    EXPECT_TRUE(presets::udpInfinite().udp.usefulSet.infiniteStorage);
+    EXPECT_EQ(presets::bigIcache40k().mem.l1iSize, 40u * 1024);
+    EXPECT_EQ(presets::bigIcache40k().mem.l1iAssoc, 10u);
+    EXPECT_TRUE(presets::eip8k().eipEnabled);
+    EXPECT_EQ(presets::uftq(UftqMode::AtrAur).uftq.mode, UftqMode::AtrAur);
+    EXPECT_EQ(presets::fdipWithFtq(96).ftqCapacity, 96u);
+    EXPECT_GE(presets::fdipWithFtq(200).ftqPhysical, 200u);
+}
+
+TEST(Runner, ProgramCacheGivesSameWorkload)
+{
+    // Two runs of the same profile must simulate the identical program
+    // (the cache keys on name+seed+footprint).
+    Profile p = profileByName("mediawiki");
+    p.codeFootprintKB = 96;
+    p.name = "mediawiki-cache-test";
+    RunOptions o;
+    o.warmupInstrs = 20'000;
+    o.measureInstrs = 30'000;
+    Report a = runSim(p, presets::fdipBaseline(), o, "");
+    Report b = runSim(p, presets::fdipBaseline(), o, "");
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+} // namespace
+} // namespace udp

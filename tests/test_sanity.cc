@@ -1,0 +1,12 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace udp {
+
+TEST(Sanity, MixerSeparates)
+{
+    EXPECT_NE(mix64(1), mix64(2));
+}
+
+} // namespace udp

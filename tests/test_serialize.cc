@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for Program serialization: save/load round trip, corruption
+ * detection, and dynamic-stream equivalence of the reloaded image.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/builder.h"
+#include "workload/serialize.h"
+#include "workload/true_stream.h"
+
+namespace udp {
+namespace {
+
+Program
+sampleProgram()
+{
+    Profile p = profileByName("drupal");
+    p.codeFootprintKB = 96;
+    p.name = "drupal-serial";
+    return ProgramBuilder::build(p);
+}
+
+TEST(Serialize, RoundTripPreservesStaticImage)
+{
+    Program orig = sampleProgram();
+    std::stringstream buf;
+    saveProgram(orig, buf);
+    Program copy = loadProgram(buf);
+
+    EXPECT_EQ(copy.name(), orig.name());
+    EXPECT_EQ(copy.entry(), orig.entry());
+    ASSERT_EQ(copy.numInstrs(), orig.numInstrs());
+    for (InstIdx i = 0; i < orig.numInstrs(); ++i) {
+        const Instr& a = orig.instrAt(i);
+        const Instr& b = copy.instrAt(i);
+        ASSERT_EQ(a.type, b.type) << i;
+        ASSERT_EQ(a.branch, b.branch) << i;
+        ASSERT_EQ(a.target, b.target) << i;
+        ASSERT_EQ(a.dep1, b.dep1) << i;
+        ASSERT_EQ(a.dep2, b.dep2) << i;
+    }
+    EXPECT_EQ(copy.numCondBehaviors(), orig.numCondBehaviors());
+    EXPECT_EQ(copy.numIndirectBehaviors(), orig.numIndirectBehaviors());
+    EXPECT_EQ(copy.numMemPatterns(), orig.numMemPatterns());
+}
+
+TEST(Serialize, RoundTripPreservesDynamicStream)
+{
+    Program orig = sampleProgram();
+    std::stringstream buf;
+    saveProgram(orig, buf);
+    Program copy = loadProgram(buf);
+
+    Walker wa(orig);
+    Walker wb(copy);
+    for (int i = 0; i < 30000; ++i) {
+        ArchInstr a = wa.step();
+        ArchInstr b = wb.step();
+        ASSERT_EQ(a.pc, b.pc) << "step " << i;
+        ASSERT_EQ(a.nextPc, b.nextPc) << "step " << i;
+        ASSERT_EQ(a.memAddr, b.memAddr) << "step " << i;
+    }
+}
+
+TEST(Serialize, RejectsBadMagic)
+{
+    std::stringstream buf;
+    buf << "this is not a program image at all";
+    EXPECT_THROW(loadProgram(buf), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncation)
+{
+    Program orig = sampleProgram();
+    std::stringstream buf;
+    saveProgram(orig, buf);
+    std::string bytes = buf.str();
+    std::stringstream cut(bytes.substr(0, bytes.size() / 2));
+    EXPECT_THROW(loadProgram(cut), std::runtime_error);
+}
+
+TEST(Serialize, RejectsMissingFile)
+{
+    EXPECT_THROW(loadProgramFile("/nonexistent/path.prog"),
+                 std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    Program orig = sampleProgram();
+    std::string path = ::testing::TempDir() + "udp_prog_test.bin";
+    saveProgramFile(orig, path);
+    Program copy = loadProgramFile(path);
+    EXPECT_EQ(copy.numInstrs(), orig.numInstrs());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace udp

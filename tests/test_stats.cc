@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the stats module (StatSet, Table, ratio helper).
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.h"
+#include "stats/table.h"
+
+namespace udp {
+namespace {
+
+TEST(StatSet, AddAndGet)
+{
+    StatSet s;
+    s.add("ipc", 1.5);
+    s.add("mpki", 12.0);
+    bool found = false;
+    EXPECT_DOUBLE_EQ(s.get("ipc", &found), 1.5);
+    EXPECT_TRUE(found);
+    EXPECT_DOUBLE_EQ(s.get("mpki"), 12.0);
+}
+
+TEST(StatSet, MissingReturnsZero)
+{
+    StatSet s;
+    bool found = true;
+    EXPECT_DOUBLE_EQ(s.get("nope", &found), 0.0);
+    EXPECT_FALSE(found);
+    EXPECT_FALSE(s.has("nope"));
+}
+
+TEST(StatSet, PreservesInsertionOrder)
+{
+    StatSet s;
+    s.add("b", 2);
+    s.add("a", 1);
+    ASSERT_EQ(s.entries().size(), 2u);
+    EXPECT_EQ(s.entries()[0].first, "b");
+    EXPECT_EQ(s.entries()[1].first, "a");
+}
+
+TEST(StatSet, ToStringContainsEntries)
+{
+    StatSet s;
+    s.add("x", 7);
+    std::string str = s.toString();
+    EXPECT_NE(str.find("x = 7"), std::string::npos);
+}
+
+TEST(Ratio, HandlesZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(ratio(5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(5, 10), 0.5);
+}
+
+TEST(Table, AsciiRendering)
+{
+    Table t({"name", "value"});
+    t.beginRow();
+    t.cell(std::string("alpha"));
+    t.cell(3.14159, 2);
+    std::string out = t.toAscii();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvRendering)
+{
+    Table t({"a", "b"});
+    t.beginRow();
+    t.cell(std::uint64_t{1});
+    t.cell(std::uint64_t{2});
+    EXPECT_EQ(t.toCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumRows)
+{
+    Table t({"x"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.beginRow();
+    t.cell(1);
+    t.beginRow();
+    t.cell(2);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, IntCells)
+{
+    Table t({"i", "u"});
+    t.beginRow();
+    t.cell(-5);
+    t.cell(std::uint64_t{99});
+    std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("-5,99"), std::string::npos);
+}
+
+} // namespace
+} // namespace udp

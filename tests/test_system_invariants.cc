@@ -1,0 +1,162 @@
+/**
+ * @file
+ * System-level invariant checks on a live Cpu: structural properties of
+ * the FTQ contents, ground-truth alignment of on-path-tagged
+ * instructions, and UDP's off-path-assumption tagging — sampled across
+ * thousands of cycles of real execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.h"
+#include "workload/builder.h"
+
+namespace udp {
+namespace {
+
+const Program&
+invariantProgram()
+{
+    static Program prog = [] {
+        Profile p = profileByName("mysql");
+        p.codeFootprintKB = 128;
+        p.name = "mysql-invariants";
+        return ProgramBuilder::build(p);
+    }();
+    return prog;
+}
+
+TEST(SystemInvariants, FtqEntriesAreWellFormed)
+{
+    Cpu cpu(invariantProgram(), presets::fdipBaseline());
+    const Program& prog = invariantProgram();
+
+    for (int burst = 0; burst < 200; ++burst) {
+        for (int c = 0; c < 50; ++c) {
+            cpu.cycle();
+        }
+        const Ftq& ftq = cpu.ftq();
+        for (std::size_t i = 0; i < ftq.size(); ++i) {
+            const FtqEntry& e = ftq.at(i);
+            ASSERT_GE(e.numInstrs, 1u);
+            ASSERT_LE(e.numInstrs, kInstrsPerFetchBlock);
+            // All instruction pcs must be valid program addresses, and the
+            // first must match the block start.
+            ASSERT_EQ(e.instrs[0].pc, e.startPc);
+            for (unsigned k = 0; k < e.numInstrs; ++k) {
+                ASSERT_TRUE(prog.validPc(e.instrs[k].pc));
+            }
+            // The block never straddles a cache line — except for the
+            // rare wrong-path wrap-around (a speculative pc running off
+            // the image wraps to the code base mid-block).
+            if (e.instrs[e.numInstrs - 1].pc >= e.startPc) {
+                ASSERT_EQ(lineAddr(e.startPc),
+                          lineAddr(e.instrs[e.numInstrs - 1].pc));
+            }
+        }
+    }
+}
+
+TEST(SystemInvariants, OffPathIsAPrefixProperty)
+{
+    // Within one fetch block, once an instruction is off-path every
+    // younger instruction in that block is off-path too (divergence
+    // never heals inside a block).
+    Cpu cpu(invariantProgram(), presets::fdipBaseline());
+    std::uint64_t blocks_checked = 0;
+    for (int burst = 0; burst < 300; ++burst) {
+        for (int c = 0; c < 40; ++c) {
+            cpu.cycle();
+        }
+        const Ftq& ftq = cpu.ftq();
+        for (std::size_t i = 0; i < ftq.size(); ++i) {
+            const FtqEntry& e = ftq.at(i);
+            bool seen_off = false;
+            for (unsigned k = 0; k < e.numInstrs; ++k) {
+                if (seen_off) {
+                    ASSERT_FALSE(e.instrs[k].onPath);
+                }
+                seen_off |= !e.instrs[k].onPath;
+            }
+            ++blocks_checked;
+        }
+    }
+    EXPECT_GT(blocks_checked, 100u);
+}
+
+TEST(SystemInvariants, DynIdsStrictlyIncreaseThroughFtq)
+{
+    Cpu cpu(invariantProgram(), presets::fdipBaseline());
+    for (int burst = 0; burst < 100; ++burst) {
+        for (int c = 0; c < 40; ++c) {
+            cpu.cycle();
+        }
+        const Ftq& ftq = cpu.ftq();
+        std::uint64_t last = 0;
+        for (std::size_t i = 0; i < ftq.size(); ++i) {
+            const FtqEntry& e = ftq.at(i);
+            for (unsigned k = 0; k < e.numInstrs; ++k) {
+                ASSERT_GT(e.instrs[k].dynId, last);
+                last = e.instrs[k].dynId;
+            }
+        }
+    }
+}
+
+TEST(SystemInvariants, UdpTagsBlocksUnderLowConfidence)
+{
+    // On a branchy low-bias workload the confidence counter must tag a
+    // meaningful share of blocks assumed-off-path.
+    Profile p = profileByName("xgboost");
+    p.codeFootprintKB = 256;
+    p.name = "xgboost-invariants";
+    Program prog = ProgramBuilder::build(p);
+    Cpu cpu(prog, presets::udp8k());
+
+    std::uint64_t tagged = 0;
+    std::uint64_t total = 0;
+    for (int burst = 0; burst < 200; ++burst) {
+        for (int c = 0; c < 25; ++c) {
+            cpu.cycle();
+        }
+        const Ftq& ftq = cpu.ftq();
+        for (std::size_t i = 0; i < ftq.size(); ++i) {
+            ++total;
+            tagged += cpu.ftq().at(i).assumedOffPath;
+        }
+    }
+    ASSERT_GT(total, 200u);
+    EXPECT_GT(static_cast<double>(tagged) / static_cast<double>(total),
+              0.2);
+}
+
+TEST(SystemInvariants, RetiredNeverExceedsFetched)
+{
+    Cpu cpu(invariantProgram(), presets::fdipBaseline());
+    for (int c = 0; c < 20'000; ++c) {
+        cpu.cycle();
+        if ((c & 1023) == 0) {
+            ASSERT_LE(cpu.retired(), cpu.frontend().stats().instrsEmitted);
+        }
+    }
+    EXPECT_GT(cpu.retired(), 0u);
+}
+
+TEST(SystemInvariants, PrefetchAccountingBalances)
+{
+    Cpu cpu(invariantProgram(), presets::fdipBaseline());
+    for (int c = 0; c < 30'000; ++c) {
+        cpu.cycle();
+    }
+    const MemSysStats& m = cpu.mem().stats();
+    const FdipStats& f = cpu.fdip().stats();
+    // Every FDIP emission is an Issued or DemotedL2 memsys event.
+    EXPECT_EQ(f.emitted, m.iprefIssued + m.iprefDemotedL2);
+    // Hardware-useful prefetches can never exceed issues into L1I.
+    const CacheStats& l1i = cpu.mem().l1iStats();
+    EXPECT_LE(l1i.prefetchHits + m.pfMshrMergesHw,
+              m.iprefIssued + m.ifetchMisses);
+}
+
+} // namespace
+} // namespace udp

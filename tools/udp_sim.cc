@@ -1,0 +1,195 @@
+/**
+ * @file
+ * udp_sim: command-line driver for the simulator.
+ *
+ *   udp_sim --app mysql --technique udp8k --instrs 1000000
+ *   udp_sim --list
+ *   udp_sim --app xgboost --technique fdip --ftq 64 --csv
+ *   udp_sim --app clang --save-program clang.prog
+ *   udp_sim --load-program clang.prog --technique uftq-atr-aur
+ *
+ * Techniques: nopf | fdip | perfect | udp8k | udp-infinite | icache40k |
+ *             eip8k | uftq-aur | uftq-atr | uftq-atr-aur
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "sim/runner.h"
+#include "workload/builder.h"
+#include "workload/serialize.h"
+
+namespace {
+
+using namespace udp;
+
+void
+usage()
+{
+    std::puts(
+        "usage: udp_sim [options]\n"
+        "  --app NAME           workload profile (default mysql); see --list\n"
+        "  --technique T        nopf|fdip|perfect|udp8k|udp-infinite|\n"
+        "                       icache40k|eip8k|uftq-aur|uftq-atr|\n"
+        "                       uftq-atr-aur (default fdip)\n"
+        "  --ftq N              fixed FTQ depth (default 32)\n"
+        "  --btb N              BTB entries (default 8192)\n"
+        "  --instrs N           measured instructions (default 1000000)\n"
+        "  --warmup N           warmup instructions (default 500000)\n"
+        "  --seed N             workload seed override\n"
+        "  --save-program PATH  write the generated program image and exit\n"
+        "  --load-program PATH  simulate a saved program image\n"
+        "  --csv                emit the report as CSV key,value lines\n"
+        "  --list               list available workload profiles\n");
+}
+
+std::optional<SimConfig>
+configFor(const std::string& t, unsigned ftq, unsigned btb)
+{
+    SimConfig cfg;
+    if (t == "nopf") {
+        cfg = presets::noPrefetch();
+    } else if (t == "fdip") {
+        cfg = presets::fdipWithFtq(ftq);
+    } else if (t == "perfect") {
+        cfg = presets::perfectIcache();
+    } else if (t == "udp8k") {
+        cfg = presets::udp8k();
+        cfg.ftqCapacity = ftq;
+    } else if (t == "udp-infinite") {
+        cfg = presets::udpInfinite();
+        cfg.ftqCapacity = ftq;
+    } else if (t == "icache40k") {
+        cfg = presets::bigIcache40k();
+    } else if (t == "eip8k") {
+        cfg = presets::eip8k();
+    } else if (t == "uftq-aur") {
+        cfg = presets::uftq(UftqMode::Aur);
+    } else if (t == "uftq-atr") {
+        cfg = presets::uftq(UftqMode::Atr);
+    } else if (t == "uftq-atr-aur") {
+        cfg = presets::uftq(UftqMode::AtrAur);
+    } else {
+        return std::nullopt;
+    }
+    cfg.bpu.btb.numEntries = btb;
+    if (ftq > cfg.ftqPhysical) {
+        cfg.ftqPhysical = ftq;
+    }
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string app = "mysql";
+    std::string technique = "fdip";
+    std::string save_path;
+    std::string load_path;
+    unsigned ftq = 32;
+    unsigned btb = 8192;
+    std::uint64_t instrs = 1'000'000;
+    std::uint64_t warmup = 500'000;
+    std::uint64_t seed_override = 0;
+    bool csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--app") {
+            app = next();
+        } else if (a == "--technique") {
+            technique = next();
+        } else if (a == "--ftq") {
+            ftq = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (a == "--btb") {
+            btb = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (a == "--instrs") {
+            instrs = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--warmup") {
+            warmup = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--seed") {
+            seed_override = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--save-program") {
+            save_path = next();
+        } else if (a == "--load-program") {
+            load_path = next();
+        } else if (a == "--csv") {
+            csv = true;
+        } else if (a == "--list") {
+            for (const Profile& p : datacenterProfiles()) {
+                std::printf("%-12s code=%uKB seed=%llu\n", p.name.c_str(),
+                            p.codeFootprintKB,
+                            static_cast<unsigned long long>(p.seed));
+            }
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    try {
+        std::optional<SimConfig> cfg = configFor(technique, ftq, btb);
+        if (!cfg) {
+            std::fprintf(stderr, "unknown technique: %s\n",
+                         technique.c_str());
+            return 2;
+        }
+
+        Program prog = [&]() {
+            if (!load_path.empty()) {
+                return loadProgramFile(load_path);
+            }
+            Profile p = profileByName(app);
+            if (seed_override) {
+                p.seed = seed_override;
+            }
+            return ProgramBuilder::build(p);
+        }();
+
+        if (!save_path.empty()) {
+            saveProgramFile(prog, save_path);
+            std::printf("saved %s (%zu instrs, %zu KB) to %s\n",
+                        prog.name().c_str(), prog.numInstrs(),
+                        static_cast<std::size_t>(prog.codeBytes() / 1024),
+                        save_path.c_str());
+            return 0;
+        }
+
+        Cpu cpu(prog, *cfg);
+        cpu.runUntilRetired(warmup);
+        cpu.clearStats();
+        cpu.runUntilRetired(instrs);
+        Report r = collectReport(cpu, prog.name(), technique);
+
+        if (csv) {
+            for (const auto& [k, v] : r.toStatSet().entries()) {
+                std::printf("%s,%g\n", k.c_str(), v);
+            }
+        } else {
+            std::printf("workload=%s technique=%s ftq=%u btb=%u\n",
+                        prog.name().c_str(), technique.c_str(), ftq, btb);
+            std::printf("%s", r.toStatSet().toString().c_str());
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
