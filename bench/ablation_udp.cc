@@ -6,63 +6,71 @@
  *  - super-block coalescing (1/2/4-line filters vs 1-line only),
  *  - confidence threshold sensitivity,
  *  - prefetch L2-demotion when the fill buffer is busy.
+ *
+ * Usage: ablation_udp [--json out.jsonl] [--csv out.csv]
  */
 
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace udp;
     using namespace udp::bench;
 
     banner("Ablation", "UDP design-choice ablations (speedup % over FDIP)");
     RunOptions o = defaultOptions();
+    SinkArgs sinks = parseSinkArgs(argc, argv);
 
-    Table t({"app", "udp", "sftq_drop", "no_superblk", "thresh4",
-             "thresh16", "no_demote"});
-    for (const char* name :
-         {"mysql", "clang", "verilator", "xgboost", "mongodb"}) {
+    const std::vector<std::string> apps = {"mysql", "clang", "verilator",
+                                           "xgboost", "mongodb"};
+
+    std::vector<SweepJob> jobs;
+    for (const std::string& name : apps) {
         const Profile& p = profileByName(name);
-        Report base = runSim(p, presets::fdipBaseline(), o, "fdip32");
-        auto pct = [&](const Report& r) {
-            return (r.ipc / base.ipc - 1.0) * 100.0;
-        };
-
-        Report u = runSim(p, presets::udp8k(), o, "udp");
+        jobs.push_back({p, presets::fdipBaseline(), o, "fdip32"});
+        jobs.push_back({p, presets::udp8k(), o, "udp"});
 
         SimConfig drop = presets::udp8k();
         drop.udp.seniority.flushPolicy = SftqFlushPolicy::DropYounger;
-        Report rd = runSim(p, drop, o, "drop");
+        jobs.push_back({p, drop, o, "drop"});
 
         SimConfig nosb = presets::udp8k();
         nosb.udp.usefulSet.bits1 = 18 * 1024; // same budget, one filter
         nosb.udp.usefulSet.bits2 = 64;
         nosb.udp.usefulSet.bits4 = 64;
         nosb.udp.usefulSet.coalesceBufferSize = 1;
-        Report rn = runSim(p, nosb, o, "nosb");
+        jobs.push_back({p, nosb, o, "nosb"});
 
         SimConfig t4 = presets::udp8k();
         t4.udp.confidence.threshold = 4;
-        Report r4 = runSim(p, t4, o, "t4");
+        jobs.push_back({p, t4, o, "t4"});
 
         SimConfig t16 = presets::udp8k();
         t16.udp.confidence.threshold = 16;
-        Report r16 = runSim(p, t16, o, "t16");
+        jobs.push_back({p, t16, o, "t16"});
 
         SimConfig nodem = presets::udp8k();
         nodem.mem.l1iPrefetchDemoteL2 = false;
-        Report rnd = runSim(p, nodem, o, "nodem");
+        jobs.push_back({p, nodem, o, "nodem"});
+    }
+    std::vector<Report> reports = runSweep(jobs);
 
+    Table t({"app", "udp", "sftq_drop", "no_superblk", "thresh4",
+             "thresh16", "no_demote"});
+    std::size_t i = 0;
+    for (const std::string& name : apps) {
+        const Report& base = reports[i++];
+        auto pct = [&](const Report& r) {
+            return (r.ipc / base.ipc - 1.0) * 100.0;
+        };
         t.beginRow();
-        t.cell(std::string(name));
-        t.cell(pct(u), 1);
-        t.cell(pct(rd), 1);
-        t.cell(pct(rn), 1);
-        t.cell(pct(r4), 1);
-        t.cell(pct(r16), 1);
-        t.cell(pct(rnd), 1);
+        t.cell(name);
+        for (int variant = 0; variant < 6; ++variant) {
+            t.cell(pct(reports[i++]), 1);
+        }
     }
     std::printf("%s", t.toAscii().c_str());
+    writeArtifacts(sinks, reports);
     return 0;
 }

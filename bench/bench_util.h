@@ -3,8 +3,11 @@
  * Shared helpers for the per-figure benchmark binaries.
  *
  * Every binary regenerates one table/figure of the paper and prints the
- * same rows/series. Instruction counts scale via UDP_BENCH_WARMUP /
- * UDP_BENCH_INSTR environment variables.
+ * same rows/series. Data points run through the parallel sweep runner
+ * (sim/sweep.h): instruction counts scale via UDP_BENCH_WARMUP /
+ * UDP_BENCH_INSTR, worker count via UDP_JOBS, and `--json out.jsonl` /
+ * `--csv out.csv` write machine-readable artifacts (stats/sink.h). See
+ * docs/EXPERIMENT_GUIDE.md for the full workflow.
  */
 
 #ifndef UDP_BENCH_BENCH_UTIL_H
@@ -12,9 +15,12 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/runner.h"
+#include "sim/sweep.h"
+#include "stats/sink.h"
 #include "stats/table.h"
 
 namespace udp::bench {
@@ -45,23 +51,51 @@ optSearchDepths()
     return d;
 }
 
+/**
+ * Finds the best fixed FTQ depth (OPT oracle) for each of @p profiles,
+ * sweeping all profiles x depths as one parallel batch. Ties keep the
+ * shallower depth; depth 32 with its report is the fallback for an empty
+ * search list.
+ */
+inline std::vector<std::pair<unsigned, Report>>
+findOptimalFtqBatch(const std::vector<Profile>& profiles,
+                    const RunOptions& opts)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(profiles.size() * optSearchDepths().size());
+    for (const Profile& p : profiles) {
+        for (unsigned d : optSearchDepths()) {
+            jobs.push_back({p, presets::fdipWithFtq(d), opts,
+                            "ftq" + std::to_string(d)});
+        }
+    }
+    std::vector<Report> reports = runSweep(jobs);
+
+    std::vector<std::pair<unsigned, Report>> best;
+    best.reserve(profiles.size());
+    std::size_t i = 0;
+    for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+        unsigned best_depth = 32;
+        Report best_report;
+        bool first = true;
+        for (unsigned d : optSearchDepths()) {
+            const Report& r = reports[i++];
+            if (first || r.ipc > best_report.ipc) {
+                best_report = r;
+                best_depth = d;
+                first = false;
+            }
+        }
+        best.emplace_back(best_depth, std::move(best_report));
+    }
+    return best;
+}
+
 /** Finds the best fixed FTQ depth (OPT oracle) for @p profile. */
 inline std::pair<unsigned, Report>
 findOptimalFtq(const Profile& profile, const RunOptions& opts)
 {
-    unsigned best_depth = 32;
-    Report best;
-    bool first = true;
-    for (unsigned d : optSearchDepths()) {
-        Report r = runSim(profile, presets::fdipWithFtq(d), opts,
-                          "ftq" + std::to_string(d));
-        if (first || r.ipc > best.ipc) {
-            best = r;
-            best_depth = d;
-            first = false;
-        }
-    }
-    return {best_depth, best};
+    return findOptimalFtqBatch({profile}, opts).front();
 }
 
 /** Prints the standard bench banner. */
@@ -76,6 +110,52 @@ banner(const char* figure, const char* what)
                 static_cast<unsigned long long>(o.warmupInstrs),
                 static_cast<unsigned long long>(o.measureInstrs));
     std::printf("==============================================================\n");
+}
+
+/** Artifact destinations parsed from `--json PATH` / `--csv PATH`. */
+struct SinkArgs
+{
+    std::string jsonPath;
+    std::string csvPath;
+};
+
+/**
+ * Extracts `--json PATH` and `--csv PATH` from argv; other arguments are
+ * left for the binary's own positional parsing via @p positional.
+ */
+inline SinkArgs
+parseSinkArgs(int argc, char** argv,
+              std::vector<std::string>* positional = nullptr)
+{
+    SinkArgs s;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json" && i + 1 < argc) {
+            s.jsonPath = argv[++i];
+        } else if (a == "--csv" && i + 1 < argc) {
+            s.csvPath = argv[++i];
+        } else if (positional != nullptr) {
+            positional->push_back(std::move(a));
+        }
+    }
+    return s;
+}
+
+/** Writes @p reports to the sinks requested in @p args (no-op if none). */
+inline void
+writeArtifacts(const SinkArgs& args, const std::vector<Report>& reports)
+{
+    ReportSink sink;
+    if (!args.jsonPath.empty()) {
+        sink.openJson(args.jsonPath);
+    }
+    if (!args.csvPath.empty()) {
+        sink.openCsv(args.csvPath);
+    }
+    if (sink.active()) {
+        sink.writeAll(reports);
+        sink.close();
+    }
 }
 
 } // namespace udp::bench

@@ -2,18 +2,21 @@
  * @file
  * Figure 3: IPC speedup over the FTQ=32 baseline across FTQ depths; the
  * per-application optimum varies widely (paper: 16..90).
+ *
+ * Usage: fig03_ftq_sweep [--json out.jsonl] [--csv out.csv]
  */
 
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace udp;
     using namespace udp::bench;
 
     banner("Figure 3", "IPC speedup (%) vs FTQ depth, over FTQ=32");
     RunOptions o = defaultOptions();
+    SinkArgs sinks = parseSinkArgs(argc, argv);
 
     std::vector<std::string> header = {"app"};
     for (unsigned d : sweepDepths()) {
@@ -21,15 +24,28 @@ main()
     }
     header.push_back("opt_depth");
 
-    Table t(header);
+    // One job per (app, depth) plus the per-app baseline; all points are
+    // independent, so the whole figure is a single parallel batch.
+    std::vector<SweepJob> jobs;
     for (const Profile& p : datacenterProfiles()) {
-        Report base = runSim(p, presets::fdipBaseline(), o, "fdip32");
+        jobs.push_back({p, presets::fdipBaseline(), o, "fdip32"});
+        for (unsigned d : sweepDepths()) {
+            jobs.push_back({p, presets::fdipWithFtq(d), o,
+                            "ftq" + std::to_string(d)});
+        }
+    }
+    std::vector<Report> reports = runSweep(jobs);
+
+    Table t(header);
+    std::size_t i = 0;
+    for (const Profile& p : datacenterProfiles()) {
+        const Report& base = reports[i++];
         t.beginRow();
         t.cell(p.name);
         unsigned best_depth = 32;
         double best = base.ipc;
         for (unsigned d : sweepDepths()) {
-            Report r = runSim(p, presets::fdipWithFtq(d), o, "");
+            const Report& r = reports[i++];
             t.cell((r.ipc / base.ipc - 1.0) * 100.0, 1);
             if (r.ipc > best) {
                 best = r.ipc;
@@ -39,5 +55,6 @@ main()
         t.cell(std::uint64_t{best_depth});
     }
     std::printf("%s", t.toAscii().c_str());
+    writeArtifacts(sinks, reports);
     return 0;
 }

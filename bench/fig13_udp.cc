@@ -3,12 +3,14 @@
  * Figure 13: IPC speedup over the FTQ=32 FDIP baseline for UDP (8KB bloom
  * filters), the infinite-storage useful-set upper bound, and the two
  * ISO-storage baselines: a 40KiB icache and EIP-8KB.
+ *
+ * Usage: fig13_udp [--json out.jsonl] [--csv out.csv]
  */
 
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace udp;
     using namespace udp::bench;
@@ -16,18 +18,31 @@ main()
     banner("Figure 13", "UDP speedup (%) over FDIP baseline vs ISO-storage "
                         "baselines");
     RunOptions o = defaultOptions();
+    SinkArgs sinks = parseSinkArgs(argc, argv);
+
+    // Five configurations per app, all points independent: one batch.
+    std::vector<SweepJob> jobs;
+    for (const Profile& p : datacenterProfiles()) {
+        jobs.push_back({p, presets::fdipBaseline(), o, "fdip32"});
+        jobs.push_back({p, presets::udp8k(), o, "udp8k"});
+        jobs.push_back({p, presets::udpInfinite(), o, "inf"});
+        jobs.push_back({p, presets::bigIcache40k(), o, "ic40k"});
+        jobs.push_back({p, presets::eip8k(), o, "eip"});
+    }
+    std::vector<Report> reports = runSweep(jobs);
 
     Table t({"app", "udp_8k", "infinite", "icache_40k", "eip_8k"});
     std::vector<double> s_udp;
     std::vector<double> s_inf;
     std::vector<double> s_ic;
     std::vector<double> s_eip;
+    std::size_t i = 0;
     for (const Profile& p : datacenterProfiles()) {
-        Report base = runSim(p, presets::fdipBaseline(), o, "fdip32");
-        Report u = runSim(p, presets::udp8k(), o, "udp8k");
-        Report inf = runSim(p, presets::udpInfinite(), o, "inf");
-        Report ic = runSim(p, presets::bigIcache40k(), o, "ic40k");
-        Report eip = runSim(p, presets::eip8k(), o, "eip");
+        const Report& base = reports[i++];
+        const Report& u = reports[i++];
+        const Report& inf = reports[i++];
+        const Report& ic = reports[i++];
+        const Report& eip = reports[i++];
 
         s_udp.push_back(u.ipc / base.ipc);
         s_inf.push_back(inf.ipc / base.ipc);
@@ -48,5 +63,6 @@ main()
     t.cell((geomean(s_ic) - 1.0) * 100.0, 1);
     t.cell((geomean(s_eip) - 1.0) * 100.0, 1);
     std::printf("%s", t.toAscii().c_str());
+    writeArtifacts(sinks, reports);
     return 0;
 }

@@ -3,17 +3,22 @@
  * Example: compare instruction-prefetching configurations on one workload.
  *
  * Usage: example_compare_prefetchers [app] [measure_instrs]
+ *                                    [--json out.jsonl] [--csv out.csv]
  *   app defaults to "clang"; any of the ten datacenter profiles works.
  *
  * Demonstrates the preset configurations (no prefetch, FDIP, UDP, UFTQ,
- * EIP, perfect icache) and the Report metrics of the public API.
+ * EIP, perfect icache), the parallel sweep runner (UDP_JOBS workers) and
+ * the Report metrics + artifact sinks of the public API.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "sim/runner.h"
+#include "sim/sweep.h"
+#include "stats/sink.h"
 #include "stats/table.h"
 
 int
@@ -21,12 +26,30 @@ main(int argc, char** argv)
 {
     using namespace udp;
 
-    std::string app = argc > 1 ? argv[1] : "clang";
+    // Positional args plus optional --json/--csv artifact destinations.
+    std::string app = "clang";
+    std::string json_path;
+    std::string csv_path;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (a == "--csv" && i + 1 < argc) {
+            csv_path = argv[++i];
+        } else {
+            positional.push_back(std::move(a));
+        }
+    }
     RunOptions opts;
     opts.warmupInstrs = 250'000;
-    opts.measureInstrs = argc > 2
-                             ? std::strtoull(argv[2], nullptr, 10)
-                             : 400'000;
+    opts.measureInstrs = 400'000;
+    if (!positional.empty()) {
+        app = positional[0];
+    }
+    if (positional.size() > 1) {
+        opts.measureInstrs = std::strtoull(positional[1].c_str(), nullptr, 10);
+    }
 
     const Profile& prof = profileByName(app);
 
@@ -47,16 +70,23 @@ main(int argc, char** argv)
         {"perfect-icache", presets::perfectIcache()},
     };
 
+    // All nine configurations are independent: run them as one sweep
+    // batch (worker count from UDP_JOBS or the hardware).
+    std::vector<SweepJob> jobs;
+    for (const Entry& e : configs) {
+        jobs.push_back({prof, e.cfg, opts, e.name});
+    }
+    std::vector<Report> reports = runSweep(jobs);
+
     Table t({"config", "ipc", "speedup%", "mpki", "timeliness", "onpath",
              "useful"});
     double base_ipc = 0.0;
-    for (const Entry& e : configs) {
-        Report r = runSim(prof, e.cfg, opts, e.name);
-        if (std::string(e.name) == "fdip-32") {
+    for (const Report& r : reports) {
+        if (r.configName == "fdip-32") {
             base_ipc = r.ipc;
         }
         t.beginRow();
-        t.cell(std::string(e.name));
+        t.cell(r.configName);
         t.cell(r.ipc, 3);
         t.cell(base_ipc > 0 ? (r.ipc / base_ipc - 1.0) * 100.0 : 0.0, 1);
         t.cell(r.icacheMpki, 2);
@@ -67,7 +97,15 @@ main(int argc, char** argv)
 
     std::printf("workload: %s (code %u KB)\n\n%s", prof.name.c_str(),
                 prof.codeFootprintKB, t.toAscii().c_str());
-    std::printf("\n(speedup%% is relative to fdip-32; rows above it ran "
-                "before the baseline and show 0)\n");
+    std::printf("\n(speedup%% is relative to fdip-32; rows above it show 0)\n");
+
+    ReportSink sink;
+    if (!json_path.empty()) {
+        sink.openJson(json_path);
+    }
+    if (!csv_path.empty()) {
+        sink.openCsv(csv_path);
+    }
+    sink.writeAll(reports);
     return 0;
 }

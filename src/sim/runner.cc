@@ -1,8 +1,11 @@
 #include "sim/runner.h"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <mutex>
 
 #include "workload/builder.h"
@@ -11,21 +14,40 @@ namespace udp {
 
 namespace {
 
-/** Program construction is expensive for MB-scale footprints: cache by
- *  (profile name, seed, footprint). */
+/**
+ * Program construction is expensive for MB-scale footprints: cache by
+ * (profile name, seed, footprint).
+ *
+ * Concurrency: the map mutex only guards entry lookup/creation; the build
+ * itself runs under a per-entry once_flag, so the first caller of a key
+ * builds exactly once while builds for *different* keys proceed in
+ * parallel. std::map nodes are address-stable, entries are never erased,
+ * and the built Program is immutable, so the returned reference stays
+ * valid and race-free for the process lifetime.
+ */
+struct ProgramCacheEntry
+{
+    std::once_flag once;
+    std::unique_ptr<const Program> prog;
+};
+
 const Program&
 cachedProgram(const Profile& p)
 {
-    static std::map<std::string, Program> cache;
+    static std::map<std::string, ProgramCacheEntry> cache;
     static std::mutex mtx;
-    std::lock_guard<std::mutex> lock(mtx);
     std::string key = p.name + "#" + std::to_string(p.seed) + "#" +
                       std::to_string(p.codeFootprintKB);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        it = cache.emplace(key, ProgramBuilder::build(p)).first;
+    ProgramCacheEntry* entry;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        entry = &cache[key];
     }
-    return it->second;
+    std::call_once(entry->once, [&] {
+        entry->prog =
+            std::make_unique<const Program>(ProgramBuilder::build(p));
+    });
+    return *entry->prog;
 }
 
 } // namespace
@@ -108,14 +130,40 @@ runSim(const Profile& profile, const SimConfig& cfg, const RunOptions& opts,
     return collectReport(cpu, profile.name, std::move(config_name));
 }
 
+bool
+parsePositiveEnv(const char* name, std::uint64_t* out)
+{
+    const char* text = std::getenv(name);
+    if (text == nullptr) {
+        return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    bool overflow = errno == ERANGE;
+    // Reject empty strings, trailing junk ("1e6", "100k"), negatives
+    // (strtoull silently wraps them), zero and overflow.
+    if (end == text || *end != '\0' || text[0] == '-' || v == 0 ||
+        overflow) {
+        std::fprintf(stderr,
+                     "[udp] ignoring %s=\"%s\": expected a positive "
+                     "integer; using the default\n",
+                     name, text);
+        return false;
+    }
+    *out = v;
+    return true;
+}
+
 RunOptions
 envRunOptions(RunOptions defaults)
 {
-    if (const char* w = std::getenv("UDP_BENCH_WARMUP")) {
-        defaults.warmupInstrs = std::strtoull(w, nullptr, 10);
+    std::uint64_t v = 0;
+    if (parsePositiveEnv("UDP_BENCH_WARMUP", &v)) {
+        defaults.warmupInstrs = v;
     }
-    if (const char* m = std::getenv("UDP_BENCH_INSTR")) {
-        defaults.measureInstrs = std::strtoull(m, nullptr, 10);
+    if (parsePositiveEnv("UDP_BENCH_INSTR", &v)) {
+        defaults.measureInstrs = v;
     }
     return defaults;
 }

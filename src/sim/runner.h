@@ -3,6 +3,10 @@
  * The experiment API used by benches, examples and integration tests:
  * build a workload, run warmup + measurement, and collect a Report with
  * every derived metric the paper's figures need.
+ *
+ * runSim() is thread-safe: the sweep runner (sim/sweep.h) calls it
+ * concurrently from a worker pool, and all workers share one immutable
+ * Program per profile through an internal cache.
  */
 
 #ifndef UDP_SIM_RUNNER_H
@@ -18,49 +22,88 @@
 
 namespace udp {
 
-/** Derived results of one simulation window. */
+/**
+ * Derived results of one simulation window.
+ *
+ * Every numeric field is exported under a schema-stable snake_case key by
+ * toStatSet() and the JSON/CSV sinks (stats/sink.h); the full key table
+ * with paper-figure provenance lives in docs/EXPERIMENT_GUIDE.md.
+ */
 struct Report
 {
+    /** Workload (profile) name; sink key "workload". */
     std::string workload;
+    /** Free-form configuration label passed to runSim; sink key "config". */
     std::string configName;
 
+    /** Instructions retired in the measurement window ("instructions"). */
     std::uint64_t instructions = 0;
+    /** Cycles elapsed in the measurement window ("cycles"). */
     std::uint64_t cycles = 0;
+    /** instructions / cycles — the speedup numerator of Figs. 1, 3, 11,
+     *  13, 16, 17 ("ipc"). */
     double ipc = 0.0;
 
     // Instruction cache behaviour.
+    /** L1I demand misses per kilo-instruction (Figs. 12, 14;
+     *  "icache_mpki"). */
     double icacheMpki = 0.0;
+    /** Demand fetches that merged with an in-flight fill per
+     *  kilo-instruction ("mshr_hits_pki"). */
     double mshrHitsPki = 0.0;
     /** Timeliness over prefetched lines: resident hits /
-     *  (resident hits + fill-buffer merges) (Fig. 4, Table III). */
+     *  (resident hits + fill-buffer merges) (Fig. 4, Table III;
+     *  "timeliness"). */
     double timeliness = 0.0;
-    /** Overall demand ratio L1I hits / (L1I hits + fill-buffer hits). */
+    /** Overall demand ratio L1I hits / (L1I hits + fill-buffer hits)
+     *  ("l1_hit_ratio"). */
     double l1HitRatio = 0.0;
-    /** Instructions lost to icache-miss stalls per kilo-instr (Fig. 15). */
+    /** Instructions lost to icache-miss stalls per kilo-instr (Fig. 15;
+     *  "lost_instr_per_kilo"). */
     double lostInstrPerKilo = 0.0;
 
     // Prefetch behaviour.
+    /** Prefetches issued by the active prefetcher
+     *  ("prefetches_emitted"). */
     std::uint64_t prefetchesEmitted = 0;
-    /** On-path / (on+off) emitted prefetch ratio (Fig. 5). */
+    /** On-path / (on+off) emitted prefetch ratio (Fig. 5;
+     *  "onpath_ratio"). */
     double onPathRatio = 0.0;
-    /** Ground-truth useful / (useful+useless) ratio (Fig. 6). */
+    /** Ground-truth useful / (useful+useless) ratio (Fig. 6;
+     *  "usefulness"). */
     double usefulness = 0.0;
-    /** Hardware-visible utility ratio (what UFTQ measures). */
+    /** Hardware-visible utility ratio (what UFTQ measures; Table III;
+     *  "usefulness_hw"). */
     double usefulnessHw = 0.0;
 
     // Frontend behaviour.
+    /** Mean FTQ occupancy over the window (Fig. 8;
+     *  "avg_ftq_occupancy"). */
     double avgFtqOccupancy = 0.0;
+    /** Conditional mispredicts per kilo-instruction ("branch_mpki"). */
     double branchMpki = 0.0;
+    /** Conditional mispredicts / predictions
+     *  ("cond_mispredict_rate"). */
     double condMispredictRate = 0.0;
+    /** Frontend resteers (mispredict + decode corrections) applied in the
+     *  window ("resteers"). */
     std::uint64_t resteers = 0;
+    /** BTB-miss corrections discovered at decode
+     *  ("decode_corrections"). */
     std::uint64_t decodeCorrections = 0;
 
     // UDP internals (zero when UDP is off).
+    /** Candidates dropped by the utility filter ("udp_dropped"). */
     std::uint64_t udpDropped = 0;
+    /** Candidates that passed the utility filter and were emitted
+     *  ("udp_filtered_emits"). */
     std::uint64_t udpFilteredEmits = 0;
+    /** Retirement-verified lines learned into the useful set
+     *  ("udp_learned"). */
     std::uint64_t udpLearned = 0;
 
-    /** Flattened view for generic printing. */
+    /** Flattened view for generic printing; same keys as the sinks minus
+     *  the two string fields. */
     StatSet toStatSet() const;
 };
 
@@ -74,6 +117,11 @@ struct RunOptions
 /**
  * Builds the Program for @p profile (cached across calls), runs a Cpu with
  * @p cfg and returns the measurement-window Report.
+ *
+ * Thread-safe: concurrent callers share one const Program per
+ * (name, seed, footprint) key — the first caller builds it exactly once,
+ * distinct keys build in parallel — and each call owns its Cpu, so
+ * results are independent of the calling thread count.
  */
 Report runSim(const Profile& profile, const SimConfig& cfg,
               const RunOptions& opts, std::string config_name = "");
@@ -85,8 +133,18 @@ Report collectReport(const Cpu& cpu, std::string workload,
 /**
  * Reads bench scaling from the environment: UDP_BENCH_WARMUP and
  * UDP_BENCH_INSTR (instruction counts), falling back to @p defaults.
+ * Malformed values (non-numeric, zero, trailing junk, overflow) warn on
+ * stderr and keep the default.
  */
 RunOptions envRunOptions(RunOptions defaults = RunOptions{});
+
+/**
+ * Parses environment variable @p name as a positive integer into @p out.
+ * Returns false when unset; a set-but-malformed value (empty, non-numeric,
+ * trailing junk, zero, or overflow) warns on stderr and also returns
+ * false, so callers always fall back to their default.
+ */
+bool parsePositiveEnv(const char* name, std::uint64_t* out);
 
 /** Geometric mean of a vector of positive speedups/ratios. */
 double geomean(const std::vector<double>& xs);

@@ -1,0 +1,114 @@
+#include "sim/sweep.h"
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/pool.h"
+
+namespace udp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    std::uint64_t n = 0;
+    if (parsePositiveEnv("UDP_JOBS", &n)) {
+        return static_cast<unsigned>(n);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : opts(std::move(options)),
+      threads(opts.numThreads == 0 ? defaultJobs() : opts.numThreads)
+{
+}
+
+std::vector<Report>
+SweepRunner::run(const std::vector<SweepJob>& jobs) const
+{
+    std::vector<Report> results(jobs.size());
+    if (jobs.empty()) {
+        return results;
+    }
+
+    // Progress + error state shared by the workers.
+    std::mutex mtx;
+    std::size_t done = 0;
+    std::size_t firstErrorIndex = jobs.size();
+    std::exception_ptr firstError;
+    const Clock::time_point start = Clock::now();
+
+    auto runOne = [&](std::size_t i) {
+        try {
+            results[i] = runSim(jobs[i].profile, jobs[i].config,
+                                jobs[i].opts, jobs[i].label);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (i < firstErrorIndex) {
+                firstErrorIndex = i;
+                firstError = std::current_exception();
+            }
+            return;
+        }
+        std::lock_guard<std::mutex> lock(mtx);
+        ++done;
+        SweepProgress p;
+        p.done = done;
+        p.total = jobs.size();
+        p.elapsedSec = secondsSince(start);
+        p.etaSec = p.done == 0
+                       ? 0.0
+                       : p.elapsedSec / static_cast<double>(p.done) *
+                             static_cast<double>(p.total - p.done);
+        if (opts.onProgress) {
+            opts.onProgress(p);
+        } else if (!opts.quiet) {
+            std::fprintf(stderr,
+                         "[sweep] %zu/%zu jobs done, %.1fs elapsed, "
+                         "eta %.1fs\n",
+                         p.done, p.total, p.elapsedSec, p.etaSec);
+        }
+    };
+
+    if (threads <= 1) {
+        // Serial reference path: same code, no pool.
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            runOne(i);
+        }
+    } else {
+        ThreadPool pool(threads);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            pool.submit([&, i] { runOne(i); });
+        }
+        pool.wait();
+    }
+
+    if (firstError) {
+        std::rethrow_exception(firstError);
+    }
+    return results;
+}
+
+std::vector<Report>
+runSweep(const std::vector<SweepJob>& jobs)
+{
+    return SweepRunner{}.run(jobs);
+}
+
+} // namespace udp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The parallel experiment engine: run a batch of independent simulations
+ * (one Report each) on a worker pool, with deterministic result ordering.
+ *
+ * Every sweep point is an isolated (Profile, SimConfig, RunOptions) triple;
+ * simulations share only the immutable Program cache inside runSim(), so a
+ * sweep of N jobs on any thread count produces bit-identical Reports to the
+ * same jobs run serially (see docs/MODEL.md, "Determinism & concurrency").
+ */
+
+#ifndef UDP_SIM_SWEEP_H
+#define UDP_SIM_SWEEP_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+#include "sim/simconfig.h"
+#include "workload/profile.h"
+
+namespace udp {
+
+/** One sweep point: a workload under a configuration. */
+struct SweepJob
+{
+    Profile profile;
+    SimConfig config;
+    RunOptions opts;
+    /** Becomes Report::configName; also the label in sink artifacts. */
+    std::string label;
+};
+
+/** Progress snapshot passed to the progress callback after each job. */
+struct SweepProgress
+{
+    std::size_t done = 0;
+    std::size_t total = 0;
+    double elapsedSec = 0.0;
+    /** Remaining-time estimate from the mean per-job rate so far. */
+    double etaSec = 0.0;
+};
+
+/** Sweep execution options. */
+struct SweepOptions
+{
+    /** Worker count; 0 means SweepRunner::defaultJobs() (UDP_JOBS env or
+     *  std::thread::hardware_concurrency()). */
+    unsigned numThreads = 0;
+    /** Called after each completed job (from the completing thread, under
+     *  the runner's progress lock). Replaces the stderr progress line. */
+    std::function<void(const SweepProgress&)> onProgress;
+    /** Suppresses the default stderr progress stream. */
+    bool quiet = false;
+};
+
+/**
+ * Executes batches of SweepJobs on a fixed-size thread pool.
+ *
+ * Results are returned indexed exactly like the input jobs regardless of
+ * completion order, and are bit-identical to a serial run of the same
+ * batch.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions options = {});
+
+    /**
+     * Runs every job and returns one Report per job, in job order.
+     * Rethrows the first job exception (by job index) after the batch
+     * drains.
+     */
+    std::vector<Report> run(const std::vector<SweepJob>& jobs) const;
+
+    /** Worker count this runner will use for a batch. */
+    unsigned threadCount() const { return threads; }
+
+    /**
+     * Default worker count: the UDP_JOBS environment variable when it
+     * parses as a positive integer (malformed values warn on stderr and
+     * are ignored), otherwise std::thread::hardware_concurrency(),
+     * otherwise 1.
+     */
+    static unsigned defaultJobs();
+
+  private:
+    SweepOptions opts;
+    unsigned threads;
+};
+
+/** Convenience: run @p jobs with default options (UDP_JOBS-sized pool). */
+std::vector<Report> runSweep(const std::vector<SweepJob>& jobs);
+
+} // namespace udp
+
+#endif // UDP_SIM_SWEEP_H

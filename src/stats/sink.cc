@@ -1,0 +1,184 @@
+#include "stats/sink.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/runner.h"
+
+namespace udp {
+
+namespace {
+
+/** Shortest round-trip decimal rendering of @p v ("400000", "0.85"). */
+std::string
+formatNumber(double v)
+{
+    char buf[64];
+    // Counters serialize as plain integers (not "4e+05"); everything else
+    // uses the shortest representation that round-trips.
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::abs(v) < 1e15) {
+        std::to_chars_result res = std::to_chars(
+            buf, buf + sizeof(buf), static_cast<long long>(v));
+        return std::string(buf, res.ptr);
+    }
+    std::to_chars_result res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+/** JSON string escaping (quotes, backslash, control characters). */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** CSV field escaping per RFC 4180 (quote when needed). */
+std::string
+csvEscape(const std::string& s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos) {
+        return s;
+    }
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"') {
+            out += "\"\"";
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::vector<std::string>
+reportSchemaKeys()
+{
+    std::vector<std::string> keys = {"workload", "config"};
+    // Bind the StatSet before iterating: entries() references its
+    // internals, and a temporary would die before the loop body.
+    StatSet stats = Report{}.toStatSet();
+    for (const auto& [name, value] : stats.entries()) {
+        (void)value;
+        keys.push_back(name);
+    }
+    return keys;
+}
+
+std::string
+reportToJsonLine(const Report& r)
+{
+    std::string out = "{\"workload\":\"" + jsonEscape(r.workload) +
+                      "\",\"config\":\"" + jsonEscape(r.configName) + "\"";
+    StatSet stats = r.toStatSet();
+    for (const auto& [name, value] : stats.entries()) {
+        out += ",\"" + name + "\":" + formatNumber(value);
+    }
+    out += '}';
+    return out;
+}
+
+std::string
+reportCsvHeader()
+{
+    std::string out;
+    for (const std::string& key : reportSchemaKeys()) {
+        if (!out.empty()) {
+            out += ',';
+        }
+        out += key;
+    }
+    return out;
+}
+
+std::string
+reportToCsvRow(const Report& r)
+{
+    std::string out = csvEscape(r.workload) + ',' + csvEscape(r.configName);
+    StatSet stats = r.toStatSet();
+    for (const auto& [name, value] : stats.entries()) {
+        (void)name;
+        out += ',' + formatNumber(value);
+    }
+    return out;
+}
+
+bool
+ReportSink::openJson(const std::string& path)
+{
+    json.open(path, std::ios::out | std::ios::trunc);
+    if (!json.is_open()) {
+        std::fprintf(stderr, "[udp] cannot open JSON sink \"%s\"\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+ReportSink::openCsv(const std::string& path)
+{
+    csv.open(path, std::ios::out | std::ios::trunc);
+    if (!csv.is_open()) {
+        std::fprintf(stderr, "[udp] cannot open CSV sink \"%s\"\n",
+                     path.c_str());
+        return false;
+    }
+    csv << reportCsvHeader() << '\n';
+    return true;
+}
+
+void
+ReportSink::write(const Report& r)
+{
+    if (json.is_open()) {
+        json << reportToJsonLine(r) << '\n';
+    }
+    if (csv.is_open()) {
+        csv << reportToCsvRow(r) << '\n';
+    }
+}
+
+void
+ReportSink::writeAll(const std::vector<Report>& reports)
+{
+    for (const Report& r : reports) {
+        write(r);
+    }
+}
+
+void
+ReportSink::close()
+{
+    if (json.is_open()) {
+        json.close();
+    }
+    if (csv.is_open()) {
+        csv.close();
+    }
+}
+
+} // namespace udp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Structured result sinks: serialize Reports as JSON lines and CSV so
+ * benches emit machine-readable artifacts next to their printed tables.
+ *
+ * The serialized schema is stable: "workload" and "config" (strings)
+ * followed by every Report::toStatSet() key in declaration order. The
+ * authoritative key table, with each key's paper-figure provenance, is in
+ * docs/EXPERIMENT_GUIDE.md.
+ */
+
+#ifndef UDP_STATS_SINK_H
+#define UDP_STATS_SINK_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace udp {
+
+struct Report;
+
+/** Ordered list of schema keys: "workload", "config", then every numeric
+ *  StatSet key of Report. */
+std::vector<std::string> reportSchemaKeys();
+
+/** One JSON object (single line, no trailing newline) for @p r. */
+std::string reportToJsonLine(const Report& r);
+
+/** The CSV header row (no trailing newline) matching reportToCsvRow. */
+std::string reportCsvHeader();
+
+/** One CSV data row (no trailing newline) for @p r. */
+std::string reportToCsvRow(const Report& r);
+
+/**
+ * Writes Reports to an optional JSON-lines file and/or an optional CSV
+ * file (with header). Opening no sink makes write() a no-op, so benches
+ * can call it unconditionally.
+ */
+class ReportSink
+{
+  public:
+    ReportSink() = default;
+
+    /** Opens (truncates) @p path for JSON lines; returns success. */
+    bool openJson(const std::string& path);
+
+    /** Opens (truncates) @p path for CSV and writes the header row;
+     *  returns success. */
+    bool openCsv(const std::string& path);
+
+    /** Appends @p r to every open sink. */
+    void write(const Report& r);
+
+    /** Appends each report in order to every open sink. */
+    void writeAll(const std::vector<Report>& reports);
+
+    /** True when at least one sink is open. */
+    bool active() const { return json.is_open() || csv.is_open(); }
+
+    /** Flushes and closes both sinks (also done on destruction). */
+    void close();
+
+  private:
+    std::ofstream json;
+    std::ofstream csv;
+};
+
+} // namespace udp
+
+#endif // UDP_STATS_SINK_H

@@ -46,6 +46,42 @@ TEST(Runner, EnvRunOptionsOverride)
     EXPECT_EQ(d.warmupInstrs, RunOptions{}.warmupInstrs);
 }
 
+TEST(Runner, EnvRunOptionsRejectsMalformedValues)
+{
+    const RunOptions defaults;
+    // Non-numeric, trailing junk, zero, negative and overflow values all
+    // warn on stderr and keep the default instead of silently wrapping.
+    for (const char* bad : {"abc", "", "1e6", "100k", "0", "-5",
+                            "99999999999999999999999999"}) {
+        setenv("UDP_BENCH_WARMUP", bad, 1);
+        setenv("UDP_BENCH_INSTR", bad, 1);
+        RunOptions o = envRunOptions();
+        EXPECT_EQ(o.warmupInstrs, defaults.warmupInstrs)
+            << "accepted UDP_BENCH_WARMUP=\"" << bad << "\"";
+        EXPECT_EQ(o.measureInstrs, defaults.measureInstrs)
+            << "accepted UDP_BENCH_INSTR=\"" << bad << "\"";
+    }
+    unsetenv("UDP_BENCH_WARMUP");
+    unsetenv("UDP_BENCH_INSTR");
+}
+
+TEST(Runner, ParsePositiveEnvContract)
+{
+    std::uint64_t v = 0;
+    unsetenv("UDP_TEST_COUNT");
+    EXPECT_FALSE(parsePositiveEnv("UDP_TEST_COUNT", &v)); // unset: silent
+
+    setenv("UDP_TEST_COUNT", "42", 1);
+    EXPECT_TRUE(parsePositiveEnv("UDP_TEST_COUNT", &v));
+    EXPECT_EQ(v, 42u);
+
+    setenv("UDP_TEST_COUNT", "4x", 1);
+    v = 7;
+    EXPECT_FALSE(parsePositiveEnv("UDP_TEST_COUNT", &v));
+    EXPECT_EQ(v, 7u); // out untouched on failure
+    unsetenv("UDP_TEST_COUNT");
+}
+
 TEST(Runner, ReportStatSetHasCoreMetrics)
 {
     Report r;

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+#
+# Smoke-check every paper figure/table bench at reduced instruction counts,
+# writing JSON/CSV artifacts for the binaries that support sinks.
+#
+# Usage: tools/run_all_figs.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  cmake build tree (default: build)
+#   OUT_DIR    artifact directory (default: BUILD_DIR/fig_artifacts)
+#
+# Tunables (environment): UDP_BENCH_WARMUP / UDP_BENCH_INSTR (instruction
+# counts per data point, default here: 20k/40k), UDP_JOBS (sweep worker
+# count, default: all cores). See docs/EXPERIMENT_GUIDE.md.
+
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-$BUILD_DIR/fig_artifacts}
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+    echo "error: $BUILD_DIR/bench not found — build first:" >&2
+    echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+fi
+
+export UDP_BENCH_WARMUP=${UDP_BENCH_WARMUP:-20000}
+export UDP_BENCH_INSTR=${UDP_BENCH_INSTR:-40000}
+mkdir -p "$OUT_DIR"
+
+# Benches migrated to the sweep runner emit machine-readable artifacts.
+SINK_BENCHES="fig03_ftq_sweep fig13_udp table3_optimal_ftq ablation_udp"
+
+ALL_BENCHES="fig01_perfect_icache fig03_ftq_sweep fig04_timeliness
+fig05_onpath_ratio fig06_usefulness fig08_occupancy fig11_uftq
+fig12_uftq_mpki fig13_udp fig14_udp_mpki fig15_lost_instructions
+fig16_btb_sensitivity fig17_ftq_sensitivity table3_optimal_ftq
+ablation_udp"
+
+failures=0
+for bench in $ALL_BENCHES; do
+    bin="$BUILD_DIR/bench/$bench"
+    if [[ ! -x "$bin" ]]; then
+        echo "MISSING  $bench" >&2
+        failures=$((failures + 1))
+        continue
+    fi
+    args=()
+    if [[ " $SINK_BENCHES " == *" $bench "* ]]; then
+        args=(--json "$OUT_DIR/$bench.jsonl" --csv "$OUT_DIR/$bench.csv")
+    fi
+    echo "=== $bench ==="
+    if "$bin" "${args[@]}" > "$OUT_DIR/$bench.txt" 2> "$OUT_DIR/$bench.log"; then
+        echo "ok       $bench"
+    else
+        echo "FAILED   $bench (see $OUT_DIR/$bench.log)" >&2
+        failures=$((failures + 1))
+    fi
+done
+
+# The sweep-enabled example doubles as an API smoke check.
+if [[ -x "$BUILD_DIR/examples/example_compare_prefetchers" ]]; then
+    echo "=== example_compare_prefetchers ==="
+    if "$BUILD_DIR/examples/example_compare_prefetchers" clang \
+        "$UDP_BENCH_INSTR" \
+        --json "$OUT_DIR/compare_prefetchers.jsonl" \
+        --csv "$OUT_DIR/compare_prefetchers.csv" \
+        > "$OUT_DIR/compare_prefetchers.txt" \
+        2> "$OUT_DIR/compare_prefetchers.log"; then
+        echo "ok       example_compare_prefetchers"
+    else
+        echo "FAILED   example_compare_prefetchers" >&2
+        failures=$((failures + 1))
+    fi
+fi
+
+echo
+if [[ $failures -ne 0 ]]; then
+    echo "$failures bench(es) failed; artifacts in $OUT_DIR" >&2
+    exit 1
+fi
+echo "all benches passed; artifacts in $OUT_DIR"
