@@ -54,7 +54,8 @@ main(int argc, char** argv)
         nodem.mem.l1iPrefetchDemoteL2 = false;
         jobs.push_back({p, nodem, o, "nodem"});
     }
-    std::vector<Report> reports = runSweep(jobs);
+    std::vector<JobResult> results = runBenchSweep(jobs);
+    std::vector<Report> reports = reportsOf(jobs, results);
 
     Table t({"app", "udp", "sftq_drop", "no_superblk", "thresh4",
              "thresh16", "no_demote"});
@@ -71,6 +72,5 @@ main(int argc, char** argv)
         }
     }
     std::printf("%s", t.toAscii().c_str());
-    writeArtifacts(sinks, reports);
-    return 0;
+    return writeArtifactsChecked(sinks, jobs, results);
 }

@@ -51,15 +51,71 @@ optSearchDepths()
     return d;
 }
 
+/** Directory bench binaries write failure diagnostic dumps into. */
+inline const char* kFailureDumpDir = "failure_dumps";
+
+/**
+ * Fault-tolerant sweep used by every bench: a crashing or hanging point
+ * never aborts the figure. Failed points get diagnostic dumps under
+ * kFailureDumpDir and surface through writeArtifactsChecked()'s exit
+ * code and failure rows.
+ */
+inline std::vector<JobResult>
+runBenchSweep(const std::vector<SweepJob>& jobs)
+{
+    SweepOptions o;
+    o.dumpDir = kFailureDumpDir;
+    return runSweepChecked(jobs, o);
+}
+
+/** Converts a failed job to its machine-readable sink failure row. */
+inline FailureRow
+failureRowOf(const SweepJob& job, const JobResult& jr)
+{
+    FailureRow f;
+    f.workload = job.profile.name;
+    f.config = job.label;
+    f.errorKind = jr.error.kind;
+    f.component = jr.error.component;
+    f.message = jr.error.message;
+    f.dumpPath = jr.error.dumpPath;
+    f.cycle = jr.error.cycle;
+    f.attempts = jr.attempts;
+    return f;
+}
+
+/**
+ * Positional Report view of @p results: a failed job contributes a
+ * zero-valued placeholder named after its job, so table-building code
+ * keeps its job-order indexing while the failure is reported separately.
+ */
+inline std::vector<Report>
+reportsOf(const std::vector<SweepJob>& jobs,
+          const std::vector<JobResult>& results)
+{
+    std::vector<Report> out(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].ok) {
+            out[i] = results[i].report;
+        } else {
+            out[i].workload = jobs[i].profile.name;
+            out[i].configName = jobs[i].label;
+        }
+    }
+    return out;
+}
+
 /**
  * Finds the best fixed FTQ depth (OPT oracle) for each of @p profiles,
  * sweeping all profiles x depths as one parallel batch. Ties keep the
- * shallower depth; depth 32 with its report is the fallback for an empty
- * search list.
+ * shallower depth; depth 32 with a zero report is the fallback when every
+ * point of a profile failed. Failed points are skipped in the argmax and
+ * appended to @p failures when given.
  */
 inline std::vector<std::pair<unsigned, Report>>
 findOptimalFtqBatch(const std::vector<Profile>& profiles,
-                    const RunOptions& opts)
+                    const RunOptions& opts,
+                    std::vector<FailureRow>* failures = nullptr)
 {
     std::vector<SweepJob> jobs;
     jobs.reserve(profiles.size() * optSearchDepths().size());
@@ -69,7 +125,7 @@ findOptimalFtqBatch(const std::vector<Profile>& profiles,
                             "ftq" + std::to_string(d)});
         }
     }
-    std::vector<Report> reports = runSweep(jobs);
+    std::vector<JobResult> results = runBenchSweep(jobs);
 
     std::vector<std::pair<unsigned, Report>> best;
     best.reserve(profiles.size());
@@ -79,7 +135,16 @@ findOptimalFtqBatch(const std::vector<Profile>& profiles,
         Report best_report;
         bool first = true;
         for (unsigned d : optSearchDepths()) {
-            const Report& r = reports[i++];
+            const JobResult& jr = results[i];
+            if (!jr.ok) {
+                if (failures != nullptr) {
+                    failures->push_back(failureRowOf(jobs[i], jr));
+                }
+                ++i;
+                continue;
+            }
+            const Report& r = jr.report;
+            ++i;
             if (first || r.ipc > best_report.ipc) {
                 best_report = r;
                 best_depth = d;
@@ -156,6 +221,61 @@ writeArtifacts(const SinkArgs& args, const std::vector<Report>& reports)
         sink.writeAll(reports);
         sink.close();
     }
+}
+
+/**
+ * Writes @p reports plus @p failures to the requested sinks, prints the
+ * failure summary, and returns the process exit code: 0 on a clean
+ * sweep, 1 when any point failed (artifacts are still complete — every
+ * successful Report and every failure row is on disk).
+ */
+inline int
+finishArtifacts(const SinkArgs& args, const std::vector<Report>& reports,
+                const std::vector<FailureRow>& failures)
+{
+    ReportSink sink;
+    if (!args.jsonPath.empty()) {
+        sink.openJson(args.jsonPath);
+    }
+    if (!args.csvPath.empty()) {
+        sink.openCsv(args.csvPath);
+    }
+    if (sink.active()) {
+        sink.writeAll(reports);
+        for (const FailureRow& f : failures) {
+            sink.writeFailure(f);
+        }
+        sink.close();
+    }
+    if (!failures.empty()) {
+        std::fprintf(stderr,
+                     "[bench] %zu sweep point(s) FAILED; partial artifacts "
+                     "written, dumps under %s/\n",
+                     failures.size(), kFailureDumpDir);
+        return 1;
+    }
+    return 0;
+}
+
+/**
+ * Sink + exit-code tail for benches built on runBenchSweep(): writes each
+ * successful job's Report and each failure's row, in job order.
+ */
+inline int
+writeArtifactsChecked(const SinkArgs& args, const std::vector<SweepJob>& jobs,
+                      const std::vector<JobResult>& results)
+{
+    std::vector<Report> ok;
+    std::vector<FailureRow> failures;
+    ok.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].ok) {
+            ok.push_back(results[i].report);
+        } else {
+            failures.push_back(failureRowOf(jobs[i], results[i]));
+        }
+    }
+    return finishArtifacts(args, ok, failures);
 }
 
 } // namespace udp::bench

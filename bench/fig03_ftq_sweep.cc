@@ -34,7 +34,8 @@ main(int argc, char** argv)
                             "ftq" + std::to_string(d)});
         }
     }
-    std::vector<Report> reports = runSweep(jobs);
+    std::vector<JobResult> results = runBenchSweep(jobs);
+    std::vector<Report> reports = reportsOf(jobs, results);
 
     Table t(header);
     std::size_t i = 0;
@@ -55,6 +56,5 @@ main(int argc, char** argv)
         t.cell(std::uint64_t{best_depth});
     }
     std::printf("%s", t.toAscii().c_str());
-    writeArtifacts(sinks, reports);
-    return 0;
+    return writeArtifactsChecked(sinks, jobs, results);
 }

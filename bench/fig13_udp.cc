@@ -29,7 +29,8 @@ main(int argc, char** argv)
         jobs.push_back({p, presets::bigIcache40k(), o, "ic40k"});
         jobs.push_back({p, presets::eip8k(), o, "eip"});
     }
-    std::vector<Report> reports = runSweep(jobs);
+    std::vector<JobResult> results = runBenchSweep(jobs);
+    std::vector<Report> reports = reportsOf(jobs, results);
 
     Table t({"app", "udp_8k", "infinite", "icache_40k", "eip_8k"});
     std::vector<double> s_udp;
@@ -63,6 +64,5 @@ main(int argc, char** argv)
     t.cell((geomean(s_ic) - 1.0) * 100.0, 1);
     t.cell((geomean(s_eip) - 1.0) * 100.0, 1);
     std::printf("%s", t.toAscii().c_str());
-    writeArtifacts(sinks, reports);
-    return 0;
+    return writeArtifactsChecked(sinks, jobs, results);
 }

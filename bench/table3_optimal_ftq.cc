@@ -21,9 +21,11 @@ main(int argc, char** argv)
     SinkArgs sinks = parseSinkArgs(argc, argv);
 
     // The exhaustive exploration (apps x depths) runs as one parallel
-    // batch; only the per-app argmax below is serial.
+    // batch; only the per-app argmax below is serial. Failed points are
+    // skipped in the argmax and recorded as failure rows.
+    std::vector<FailureRow> failures;
     std::vector<std::pair<unsigned, Report>> optima =
-        findOptimalFtqBatch(datacenterProfiles(), o);
+        findOptimalFtqBatch(datacenterProfiles(), o, &failures);
 
     Table t({"app", "optimal_ftq", "utility", "timeliness", "ipc"});
     std::vector<double> depths;
@@ -63,6 +65,5 @@ main(int argc, char** argv)
     std::printf("\nPaper reference: optimal 12..90 (geomean 42), utility "
                 "geomean 0.65 (corr 0.63), timeliness geomean 0.75 "
                 "(corr 0.21).\n");
-    writeArtifacts(sinks, optimal_reports);
-    return 0;
+    return finishArtifacts(sinks, optimal_reports, failures);
 }

@@ -71,12 +71,30 @@ main(int argc, char** argv)
     };
 
     // All nine configurations are independent: run them as one sweep
-    // batch (worker count from UDP_JOBS or the hardware).
+    // batch (worker count from UDP_JOBS or the hardware). The checked
+    // runner keeps the comparison alive even if one configuration fails.
     std::vector<SweepJob> jobs;
     for (const Entry& e : configs) {
         jobs.push_back({prof, e.cfg, opts, e.name});
     }
-    std::vector<Report> reports = runSweep(jobs);
+    std::vector<JobResult> results = runSweepChecked(jobs);
+    std::vector<Report> reports;
+    std::vector<FailureRow> failures;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].ok) {
+            reports.push_back(results[i].report);
+        } else {
+            FailureRow f;
+            f.workload = prof.name;
+            f.config = jobs[i].label;
+            f.errorKind = results[i].error.kind;
+            f.component = results[i].error.component;
+            f.message = results[i].error.message;
+            f.cycle = results[i].error.cycle;
+            f.attempts = results[i].attempts;
+            failures.push_back(std::move(f));
+        }
+    }
 
     Table t({"config", "ipc", "speedup%", "mpki", "timeliness", "onpath",
              "useful"});
@@ -107,5 +125,13 @@ main(int argc, char** argv)
         sink.openCsv(csv_path);
     }
     sink.writeAll(reports);
+    for (const FailureRow& f : failures) {
+        sink.writeFailure(f);
+    }
+    if (!failures.empty()) {
+        std::fprintf(stderr, "[example] %zu configuration(s) failed\n",
+                     failures.size());
+        return 1;
+    }
     return 0;
 }

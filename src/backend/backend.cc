@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "common/rng.h"
 #include "workload/outcome.h"
@@ -49,11 +50,11 @@ Backend::canDispatch(const DecodedInstr& di) const
 void
 Backend::dispatch(const DecodedInstr& di, Cycle now)
 {
-    (void)now;
     assert(canDispatch(di));
     RobEntry e;
     e.di = di;
     e.pos = robBasePos + rob.size();
+    e.dispatchedAt = now;
     rob.push_back(std::move(e));
     unissued.push_back(rob.back().pos);
     if (di.type == InstrType::Load) {
@@ -217,6 +218,9 @@ void
 Backend::retire(Cycle now)
 {
     (void)now;
+    if (retireFrozen) {
+        return;
+    }
     unsigned budget = cfg.retireWidth;
     while (budget > 0 && !rob.empty() && rob.front().completed) {
         RobEntry& e = rob.front();
@@ -384,6 +388,83 @@ Backend::tick(Cycle now)
         ++stats_.robFullStalls;
     }
     return req;
+}
+
+std::string
+Backend::checkInvariants(bool full) const
+{
+    char buf[160];
+    if (rob.size() > cfg.robSize) {
+        std::snprintf(buf, sizeof(buf), "ROB occupancy %zu exceeds %u",
+                      rob.size(), cfg.robSize);
+        return buf;
+    }
+    if (loadsInFlight > cfg.lqSize) {
+        std::snprintf(buf, sizeof(buf), "LQ credits %u exceed %u",
+                      loadsInFlight, cfg.lqSize);
+        return buf;
+    }
+    if (storesInFlight > cfg.sqSize) {
+        std::snprintf(buf, sizeof(buf), "SQ credits %u exceed %u",
+                      storesInFlight, cfg.sqSize);
+        return buf;
+    }
+    if (full) {
+        // Credit conservation: every dispatch increments, every retire or
+        // squash decrements, so the counters must equal a recount of the
+        // ROB-resident memory instructions.
+        unsigned loads = 0;
+        unsigned stores = 0;
+        for (const RobEntry& e : rob) {
+            if (e.di.type == InstrType::Load) {
+                ++loads;
+            } else if (e.di.type == InstrType::Store) {
+                ++stores;
+            }
+        }
+        if (loads != loadsInFlight || stores != storesInFlight) {
+            std::snprintf(buf, sizeof(buf),
+                          "LSQ credit leak: counters %u/%u vs ROB recount "
+                          "%u/%u (loads/stores)",
+                          loadsInFlight, storesInFlight, loads, stores);
+            return buf;
+        }
+        if (unissued.size() > rob.size()) {
+            std::snprintf(buf, sizeof(buf),
+                          "unissued list %zu larger than ROB %zu",
+                          unissued.size(), rob.size());
+            return buf;
+        }
+    }
+    return "";
+}
+
+std::string
+Backend::dumpState(Cycle now) const
+{
+    char buf[256];
+    if (rob.empty()) {
+        std::snprintf(buf, sizeof(buf),
+                      "[rob] occupancy=0/%u retired=%llu frozen=%d\n",
+                      cfg.robSize,
+                      static_cast<unsigned long long>(stats_.retired),
+                      retireFrozen ? 1 : 0);
+        return buf;
+    }
+    const RobEntry& head = rob.front();
+    std::snprintf(
+        buf, sizeof(buf),
+        "[rob] occupancy=%zu/%u retired=%llu frozen=%d lq=%u/%u sq=%u/%u "
+        "oldest={pc=0x%llx age=%llu issued=%d completed=%d "
+        "mispredicted=%d}\n",
+        rob.size(), cfg.robSize,
+        static_cast<unsigned long long>(stats_.retired),
+        retireFrozen ? 1 : 0, loadsInFlight, cfg.lqSize, storesInFlight,
+        cfg.sqSize, static_cast<unsigned long long>(head.di.pc),
+        static_cast<unsigned long long>(now - head.dispatchedAt),
+        head.issued ? 1 : 0, head.completed ? 1 : 0,
+        head.mispredicted ? 1 : 0);
+    return buf;
 }
 
 } // namespace udp

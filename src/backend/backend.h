@@ -14,6 +14,7 @@
 #include <deque>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "bpred/bpu.h"
@@ -98,6 +99,25 @@ class Backend
     const BackendStats& stats() const { return stats_; }
     void clearStats() { stats_ = BackendStats(); }
 
+    /**
+     * Fault-injection hook (sim/faultinject.h): while frozen, retirement
+     * makes no progress (the rest of the pipeline keeps running until it
+     * backs up behind the full ROB).
+     */
+    void setRetireFrozen(bool frozen) { retireFrozen = frozen; }
+    bool retireFrozenForFault() const { return retireFrozen; }
+
+    /**
+     * Invariant check (sim/invariants.h): ROB/RS/LSQ occupancy bounds.
+     * @p full additionally recomputes the load/store in-flight credits
+     * from ROB contents (conservation across dispatch/squash/retire).
+     * Returns the first violation, or "".
+     */
+    std::string checkInvariants(bool full) const;
+
+    /** ROB occupancy + oldest-entry summary for diagnostic reports. */
+    std::string dumpState(Cycle now) const;
+
   private:
     struct RobEntry
     {
@@ -111,6 +131,7 @@ class Backend
         bool actualTaken = false;
         Addr actualNext = kInvalidAddr;
         Cycle completeAt = kInvalidCycle;
+        Cycle dispatchedAt = 0; ///< for age reporting in dumps
     };
 
     RobEntry* entryAt(std::uint64_t pos);
@@ -148,6 +169,7 @@ class Backend
 
     unsigned loadsInFlight = 0;
     unsigned storesInFlight = 0;
+    bool retireFrozen = false; ///< fault-injection: stall retirement
 
     BackendStats stats_;
 };

@@ -125,7 +125,7 @@ MemSystem::ifetch(Addr pc, Cycle now, bool on_path)
     // True demand miss: allocate and go down the hierarchy.
     Cycle fill_delta = lowerHierarchyLatency(line, now, true);
     MshrEntry* e = l1iMshr.allocate(line, now + cfg.l1iLat + fill_delta,
-                                    /*is_prefetch=*/false);
+                                    /*is_prefetch=*/false, now);
     if (!e) {
         ++stats_.ifetchStalls;
         res.where = IFetchWhere::Stall;
@@ -166,7 +166,7 @@ MemSystem::iprefetch(Addr addr, Cycle now)
     }
     Cycle fill_delta = lowerHierarchyLatency(line, now, true);
     MshrEntry* e =
-        l1iMshr.allocate(line, now + cfg.l1iLat + fill_delta, true);
+        l1iMshr.allocate(line, now + cfg.l1iLat + fill_delta, true, now);
     if (!e) {
         if (!cfg.l1iPrefetchDemoteL2) {
             ++stats_.iprefNoMshr;

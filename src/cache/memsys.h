@@ -12,6 +12,7 @@
 #define UDP_CACHE_MEMSYS_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cache/cache.h"
@@ -160,6 +161,20 @@ class MemSystem
     SetAssocCache& icache() { return l1i; }
     const SetAssocCache& icache() const { return l1i; }
     MshrFile& fillBuffer() { return l1iMshr; }
+    const MshrFile& fillBuffer() const { return l1iMshr; }
+
+    /** Invariant check (sim/invariants.h): fill-buffer consistency.
+     *  Returns the first violation found, or an empty string. */
+    std::string checkInvariants(Cycle now) const
+    {
+        return l1iMshr.checkInvariants(now);
+    }
+
+    /** Fill-buffer occupancy dump for diagnostic reports. */
+    std::string dumpState(Cycle now) const
+    {
+        return l1iMshr.dumpState(now);
+    }
 
     const MemSysConfig& config() const { return cfg; }
 

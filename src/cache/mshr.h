@@ -10,6 +10,7 @@
 #define UDP_CACHE_MSHR_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -22,6 +23,8 @@ struct MshrEntry
     bool valid = false;
     Addr line = kInvalidAddr;
     Cycle ready = kInvalidCycle;
+    /** Cycle the miss was allocated (age reporting / leak detection). */
+    Cycle allocatedAt = 0;
     /** Installed by a prefetch (vs a demand miss). */
     bool isPrefetch = false;
     /** A demand access merged with this entry while in flight. */
@@ -50,9 +53,10 @@ class MshrFile
 
     /**
      * Allocates an entry; returns nullptr when the file is full (caller
-     * must stall or drop).
+     * must stall or drop). @p now stamps the entry's allocation cycle.
      */
-    MshrEntry* allocate(Addr line, Cycle ready, bool is_prefetch);
+    MshrEntry* allocate(Addr line, Cycle ready, bool is_prefetch,
+                        Cycle now = 0);
 
     /**
      * Invokes @p cb (signature void(const MshrEntry&)) for every entry
@@ -82,6 +86,21 @@ class MshrFile
 
     /** Records a demand merge on @p e (statistics + flags). */
     void noteDemandMerge(MshrEntry& e, bool on_path);
+
+    /**
+     * Invariant check (sim/invariants.h): duplicate outstanding lines and
+     * leaked entries (an entry whose fill never drains — ready sentinel or
+     * ready in the past at end-of-cycle @p now). Returns the first
+     * violation found, or an empty string.
+     */
+    std::string checkInvariants(Cycle now) const;
+
+    /** One-line-per-entry occupancy dump for diagnostic reports. */
+    std::string dumpState(Cycle now) const;
+
+    /** Fault-injection hook (sim/faultinject.h): the @p nth valid entry
+     *  in file order, nullptr when fewer are outstanding. */
+    MshrEntry* validEntryForFault(unsigned nth);
 
   private:
     std::vector<MshrEntry> entries;

@@ -1,5 +1,7 @@
 #include "core/seniority_ftq.h"
 
+#include <cstdio>
+
 namespace udp {
 
 SeniorityFtq::SeniorityFtq(const SeniorityFtqConfig& c) : cfg(c)
@@ -66,6 +68,29 @@ SeniorityFtq::onFlush(std::uint64_t squash_after_dyn_id)
         fifo.pop_back();
         ++stats_.flushDrops;
     }
+}
+
+std::string
+SeniorityFtq::checkInvariants() const
+{
+    char buf[128];
+    if (fifo.size() > cfg.capacity) {
+        std::snprintf(buf, sizeof(buf), "size %zu exceeds capacity %u",
+                      fifo.size(), cfg.capacity);
+        return buf;
+    }
+    std::size_t refs = 0;
+    for (const auto& [line, count] : lines) {
+        (void)line;
+        refs += count;
+    }
+    if (refs != fifo.size()) {
+        std::snprintf(buf, sizeof(buf),
+                      "line index holds %zu refs for %zu FIFO slots", refs,
+                      fifo.size());
+        return buf;
+    }
+    return "";
 }
 
 } // namespace udp

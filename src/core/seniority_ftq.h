@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 
 #include "common/types.h"
@@ -69,6 +70,11 @@ class SeniorityFtq
 
     const SeniorityFtqStats& stats() const { return stats_; }
     void clearStats() { stats_ = SeniorityFtqStats(); }
+
+    /** Invariant check (sim/invariants.h): capacity bound and agreement
+     *  between the FIFO and its line-refcount index. Returns the first
+     *  violation, or "". */
+    std::string checkInvariants() const;
 
   private:
     struct Slot

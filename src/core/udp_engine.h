@@ -89,6 +89,13 @@ class UdpEngine
     /** Total storage budget in bits (paper: 8KB). */
     std::uint64_t storageBits() const;
 
+    /** Invariant check (sim/invariants.h): Seniority-FTQ consistency.
+     *  Returns the first violation, or "". */
+    std::string checkInvariants() const { return sftq.checkInvariants(); }
+
+    /** Seniority-FTQ occupancy (diagnostic dumps). */
+    std::size_t seniorityOccupancy() const { return sftq.size(); }
+
     const UdpStats& stats() const { return stats_; }
     const UsefulSetStats& usefulSetStats() const { return set.stats(); }
     const SeniorityFtqStats& seniorityStats() const { return sftq.stats(); }

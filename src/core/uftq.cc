@@ -1,6 +1,7 @@
 #include "core/uftq.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "stats/stats.h"
 
@@ -130,6 +131,25 @@ UftqController::tick(const MemSysStats& mem, const CacheStats& l1i)
       case UftqMode::Off:
         break;
     }
+}
+
+std::string
+UftqController::checkInvariants() const
+{
+    char buf[128];
+    if (depth < cfg.minDepth || depth > ftq.physicalCapacity()) {
+        std::snprintf(buf, sizeof(buf),
+                      "commanded depth %u outside [%u, %zu]", depth,
+                      cfg.minDepth, ftq.physicalCapacity());
+        return buf;
+    }
+    if (depth != ftq.capacity()) {
+        std::snprintf(buf, sizeof(buf),
+                      "commanded depth %u disagrees with FTQ capacity %zu",
+                      depth, ftq.capacity());
+        return buf;
+    }
+    return "";
 }
 
 } // namespace udp

@@ -16,6 +16,7 @@
 #define UDP_CORE_UFTQ_H
 
 #include <cstdint>
+#include <string>
 
 #include "cache/memsys.h"
 #include "frontend/ftq.h"
@@ -80,6 +81,11 @@ class UftqController
     static double combine(double qd_aur, double qd_atr);
 
     unsigned currentDepth() const { return depth; }
+
+    /** Invariant check (sim/invariants.h): the commanded depth stays in
+     *  [minDepth, physical] and agrees with the FTQ's dynamic capacity.
+     *  Returns the first violation, or "". */
+    std::string checkInvariants() const;
 
     const UftqStats& stats() const { return stats_; }
 

@@ -1,6 +1,7 @@
 #include "frontend/fetch.h"
 
 #include <cassert>
+#include <cstdio>
 
 namespace udp {
 
@@ -220,6 +221,43 @@ FetchStage::tick(Cycle now)
         ++stats_.icacheStallCycles;
         stats_.lostSlotsIcacheMiss += budget;
     }
+}
+
+std::string
+FetchStage::checkInvariants() const
+{
+    char buf[128];
+    // tick() stops pulling once the bound is reached, so the queue can
+    // overshoot by at most one fetch group.
+    if (decodeQ.size() > cfg.decodeQueueMax + cfg.fetchWidth) {
+        std::snprintf(buf, sizeof(buf),
+                      "decode queue size %zu exceeds bound %u (+%u width)",
+                      decodeQ.size(), cfg.decodeQueueMax, cfg.fetchWidth);
+        return buf;
+    }
+    if (headAccessed && headConsumed > kInstrsPerFetchBlock) {
+        std::snprintf(buf, sizeof(buf),
+                      "head progress %u exceeds block size %u",
+                      headConsumed, kInstrsPerFetchBlock);
+        return buf;
+    }
+    return "";
+}
+
+std::string
+FetchStage::dumpState(Cycle now) const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "[fetch] decode_queue=%zu/%u head={accessed=%d "
+                  "ready=%llu (in %lld) consumed=%u}\n",
+                  decodeQ.size(), cfg.decodeQueueMax, headAccessed ? 1 : 0,
+                  static_cast<unsigned long long>(headReady),
+                  headAccessed ? static_cast<long long>(headReady) -
+                                     static_cast<long long>(now)
+                               : 0,
+                  headConsumed);
+    return buf;
 }
 
 } // namespace udp

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 
 #include "bpred/bpu.h"
 #include "cache/memsys.h"
@@ -92,6 +93,13 @@ class FetchStage
 
     const FetchStats& stats() const { return stats_; }
     void clearStats() { stats_ = FetchStats(); }
+
+    /** Invariant check (sim/invariants.h): decode-queue bound and head
+     *  progress consistency. Returns the first violation, or "". */
+    std::string checkInvariants() const;
+
+    /** Decode-queue / head-block summary for diagnostic reports. */
+    std::string dumpState(Cycle now) const;
 
   private:
     /**

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <string>
 
 #include "common/histogram.h"
 #include "common/types.h"
@@ -112,6 +113,17 @@ class Ftq
     FtqStats& stats() { return stats_; }
     const FtqStats& stats() const { return stats_; }
     void clearStats();
+
+    /**
+     * Invariant check (sim/invariants.h): size against the physical
+     * bound, capacity against [1, physical] and per-entry well-formedness
+     * (instruction count, valid addresses). @p full additionally verifies
+     * entry-id monotonicity. Returns the first violation, or "".
+     */
+    std::string checkInvariants(bool full) const;
+
+    /** Occupancy + head/tail summary for diagnostic reports. */
+    std::string dumpState() const;
 
   private:
     std::deque<FtqEntry> q;

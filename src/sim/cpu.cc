@@ -1,5 +1,10 @@
 #include "sim/cpu.h"
 
+#include <cstdio>
+
+#include "sim/invariants.h"
+#include "sim/simerror.h"
+
 namespace udp {
 
 Cpu::Cpu(const Program& prog, const SimConfig& c) : cfg(c), program(prog)
@@ -76,12 +81,25 @@ Cpu::applyResteer(const ResteerRequest& req)
     }
     fe_->resteer(now_ + cfg.frontend.execResteerPenalty, req.newPc,
                  req.aligned, req.nextStreamIdx, /*from_decode=*/false);
+
+    lastResteerCycle_ = now_;
+    lastResteerPc_ = req.newPc;
 }
 
 void
 Cpu::cycle()
 {
     ++now_;
+
+    // Fault injection lands before any component ticks so the perturbed
+    // state flows through a whole cycle before detection can run. Sticky
+    // kinds re-apply every cycle (see FaultKind::CorruptFtqEntry).
+    if (cfg.fault.kind != FaultKind::None &&
+        (!faultApplied_ || cfg.fault.kind == FaultKind::CorruptFtqEntry)) {
+        if (applyFault(*this, cfg.fault, now_)) {
+            faultApplied_ = true;
+        }
+    }
 
     mem_->tick(now_);
 
@@ -118,6 +136,41 @@ Cpu::cycle()
             udp_->maintain();
         }
     }
+
+    // --- hardening: forward-progress watchdog + invariant sweeps --------
+    std::uint64_t retired_now = backend_->retired();
+    if (retired_now != lastRetiredSeen_) {
+        lastRetiredSeen_ = retired_now;
+        lastRetireCycle_ = now_;
+    } else if (cfg.watchdog.retireStallCycles != 0 &&
+               now_ - lastRetireCycle_ >= cfg.watchdog.retireStallCycles) {
+        throw SimHang(SimErrorKind::RetireStall, "backend", now_,
+                      "no instruction retired for " +
+                          std::to_string(now_ - lastRetireCycle_) +
+                          " cycles (watchdog window " +
+                          std::to_string(cfg.watchdog.retireStallCycles) +
+                          ")",
+                      dumpState());
+    }
+    if (cfg.watchdog.maxCycles != 0 && now_ >= cfg.watchdog.maxCycles) {
+        throw SimHang(SimErrorKind::CycleBudget, "cpu", now_,
+                      "cycle budget " +
+                          std::to_string(cfg.watchdog.maxCycles) +
+                          " exhausted with " + std::to_string(retired_now) +
+                          " instructions retired",
+                      dumpState());
+    }
+    if (cfg.watchdog.invariantPeriod != 0 &&
+        now_ % cfg.watchdog.invariantPeriod == 0) {
+        checkInvariants(*this, /*full=*/false);
+    }
+#ifdef UDP_CHECK
+    // Expensive sweep (credit recounts, id monotonicity) on a tight
+    // cadence — debug builds only.
+    if ((now_ & 0x3f) == 0) {
+        checkInvariants(*this, /*full=*/true);
+    }
+#endif
 }
 
 void
@@ -126,6 +179,49 @@ Cpu::runUntilRetired(std::uint64_t retire_target)
     while (backend_->retired() < retire_target) {
         cycle();
     }
+}
+
+std::string
+Cpu::dumpState() const
+{
+    char head[224];
+    std::snprintf(head, sizeof(head),
+                  "[cpu] cycle=%llu retired=%llu last_retire_cycle=%llu "
+                  "(%llu ago)\n",
+                  static_cast<unsigned long long>(now_),
+                  static_cast<unsigned long long>(backend_->retired()),
+                  static_cast<unsigned long long>(lastRetireCycle_),
+                  static_cast<unsigned long long>(now_ - lastRetireCycle_));
+    std::string out = head;
+    if (lastResteerCycle_ != kInvalidCycle) {
+        char rs[128];
+        std::snprintf(rs, sizeof(rs),
+                      "[resteer] last at cycle %llu (%llu ago) to pc=0x%llx\n",
+                      static_cast<unsigned long long>(lastResteerCycle_),
+                      static_cast<unsigned long long>(now_ -
+                                                      lastResteerCycle_),
+                      static_cast<unsigned long long>(lastResteerPc_));
+        out += rs;
+    } else {
+        out += "[resteer] none yet\n";
+    }
+    out += ftq_->dumpState();
+    out += fetch_->dumpState(now_);
+    out += backend_->dumpState(now_);
+    out += mem_->dumpState(now_);
+    if (uftq_) {
+        char u[64];
+        std::snprintf(u, sizeof(u), "[uftq] commanded_depth=%u\n",
+                      uftq_->currentDepth());
+        out += u;
+    }
+    if (udp_) {
+        char u[64];
+        std::snprintf(u, sizeof(u), "[udp] seniority_ftq=%zu\n",
+                      udp_->seniorityOccupancy());
+        out += u;
+    }
+    return out;
 }
 
 void

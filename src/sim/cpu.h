@@ -8,6 +8,7 @@
 #define UDP_SIM_CPU_H
 
 #include <memory>
+#include <string>
 
 #include "sim/simconfig.h"
 #include "workload/program.h"
@@ -21,11 +22,23 @@ class Cpu
   public:
     Cpu(const Program& prog, const SimConfig& cfg);
 
-    /** Advances one cycle. */
+    /**
+     * Advances one cycle. Raises SimHang when the forward-progress
+     * watchdog trips (retirement stalled for watchdog.retireStallCycles,
+     * or now() exceeded watchdog.maxCycles) and InvariantViolation when a
+     * periodic invariant sweep finds corrupted modeled state.
+     */
     void cycle();
 
     /** Runs until @p retire_target instructions have retired. */
     void runUntilRetired(std::uint64_t retire_target);
+
+    /**
+     * Multi-component diagnostic snapshot: cycle/retire progress, last
+     * resteer, FTQ, decode queue, ROB/LSQ and fill-buffer occupancy with
+     * oldest-entry ages. Attached to every SimError.
+     */
+    std::string dumpState() const;
 
     /** Clears all statistics (start of the measurement window). */
     void clearStats();
@@ -49,6 +62,9 @@ class Cpu
     const SimConfig& config() const { return cfg; }
 
   private:
+    /** Fault injection perturbs component state through Cpu's internals. */
+    friend bool applyFault(Cpu& cpu, const FaultPlan& plan, Cycle now);
+
     void applyResteer(const ResteerRequest& req);
 
     SimConfig cfg;
@@ -70,6 +86,13 @@ class Cpu
     Cycle now_ = 0;
     Cycle statsStartCycle_ = 0;
     std::uint64_t lastPfUnused = 0; ///< for UDP clear-policy feedback
+
+    // Watchdog / diagnostic tracking.
+    Cycle lastRetireCycle_ = 0;          ///< cycle retired() last advanced
+    std::uint64_t lastRetiredSeen_ = 0;  ///< retired() at that cycle
+    Cycle lastResteerCycle_ = kInvalidCycle;
+    Addr lastResteerPc_ = kInvalidAddr;
+    bool faultApplied_ = false;
 };
 
 } // namespace udp

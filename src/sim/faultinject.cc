@@ -1,0 +1,127 @@
+#include "sim/faultinject.h"
+
+#include "backend/backend.h"
+#include "cache/memsys.h"
+#include "frontend/ftq.h"
+#include "sim/cpu.h"
+
+namespace udp {
+
+namespace {
+
+/**
+ * Picks a fill-buffer victim deterministically. Demand entries are
+ * preferred: the fetch stage is certain to touch their lines again, so
+ * perturbing one reliably propagates into an observable stall.
+ */
+MshrEntry*
+pickFillVictim(MshrFile& mshr, std::uint64_t seed)
+{
+    unsigned demand = 0;
+    unsigned total = 0;
+    for (unsigned i = 0;; ++i) {
+        MshrEntry* e = mshr.validEntryForFault(i);
+        if (e == nullptr) {
+            break;
+        }
+        ++total;
+        if (!e->isPrefetch) {
+            ++demand;
+        }
+    }
+    if (total == 0) {
+        return nullptr;
+    }
+    if (demand > 0) {
+        unsigned nth = static_cast<unsigned>(seed % demand);
+        for (unsigned i = 0, seen = 0;; ++i) {
+            MshrEntry* e = mshr.validEntryForFault(i);
+            if (e == nullptr) {
+                return nullptr;
+            }
+            if (!e->isPrefetch && seen++ == nth) {
+                return e;
+            }
+        }
+    }
+    return mshr.validEntryForFault(static_cast<unsigned>(seed % total));
+}
+
+} // namespace
+
+bool
+applyFault(Cpu& cpu, const FaultPlan& plan, Cycle now)
+{
+    if (plan.kind == FaultKind::None || now < plan.triggerCycle) {
+        return false;
+    }
+
+    MshrFile& fill = cpu.mem_->fillBuffer();
+    switch (plan.kind) {
+      case FaultKind::None:
+        return false;
+
+      case FaultKind::DropFill: {
+        MshrEntry* e = pickFillVictim(fill, plan.seed);
+        if (e == nullptr) {
+            return false; // nothing outstanding yet: retry next cycle
+        }
+        e->ready = kInvalidCycle;
+        return true;
+      }
+
+      case FaultKind::DelayFill: {
+        MshrEntry* e = pickFillVictim(fill, plan.seed);
+        if (e == nullptr) {
+            return false;
+        }
+        e->ready = now + plan.delay;
+        return true;
+      }
+
+      case FaultKind::LeakMshr: {
+        // A synthetic line no workload address maps to (program images
+        // start at low addresses), with the never-drains sentinel.
+        Addr line = lineAddr(0xFA17'0000'0000ull + plan.seed * kLineBytes);
+        return fill.allocate(line, kInvalidCycle, /*is_prefetch=*/true,
+                             now) != nullptr;
+      }
+
+      case FaultKind::DuplicateMshr: {
+        MshrEntry* e = pickFillVictim(fill, plan.seed);
+        if (e == nullptr) {
+            return false;
+        }
+        // Second outstanding entry for the same line. Both entries get the
+        // sentinel ready: if either drained before the next invariant
+        // sweep, the survivor would be reported as a leak rather than as
+        // the duplicate pair this fault exists to exercise.
+        if (fill.allocate(e->line, kInvalidCycle, e->isPrefetch, now) ==
+            nullptr) {
+            return false;
+        }
+        e->ready = kInvalidCycle;
+        return true;
+      }
+
+      case FaultKind::CorruptFtqEntry: {
+        Ftq& ftq = *cpu.ftq_;
+        if (ftq.empty()) {
+            return false;
+        }
+        // Invalidate the start address rather than growing numInstrs: the
+        // fetch and resteer paths index instrs[] by numInstrs, so an
+        // oversized count would read out of bounds in the *host* — the
+        // fault must corrupt modeled state, not the simulator.
+        ftq.at(plan.seed % ftq.size()).startPc = kInvalidAddr;
+        return true;
+      }
+
+      case FaultKind::FreezeRetire:
+        cpu.backend_->setRetireFrozen(true);
+        return true;
+    }
+    return false;
+}
+
+} // namespace udp

@@ -1,0 +1,47 @@
+#include "sim/invariants.h"
+
+#include "backend/backend.h"
+#include "cache/memsys.h"
+#include "core/udp_engine.h"
+#include "core/uftq.h"
+#include "frontend/fetch.h"
+#include "frontend/ftq.h"
+#include "sim/cpu.h"
+
+namespace udp {
+
+std::vector<InvariantFailure>
+collectInvariantFailures(const Cpu& cpu, bool full)
+{
+    std::vector<InvariantFailure> out;
+    auto add = [&out](const char* component, std::string detail) {
+        if (!detail.empty()) {
+            out.push_back(InvariantFailure{component, std::move(detail)});
+        }
+    };
+
+    add("ftq", cpu.ftq().checkInvariants(full));
+    add("mshr", cpu.mem().checkInvariants(cpu.now()));
+    add("fetch", cpu.fetch().checkInvariants());
+    add("rob", cpu.backend().checkInvariants(full));
+    if (cpu.uftq() != nullptr) {
+        add("uftq", cpu.uftq()->checkInvariants());
+    }
+    if (cpu.udp() != nullptr) {
+        add("udp", cpu.udp()->checkInvariants());
+    }
+    return out;
+}
+
+void
+checkInvariants(const Cpu& cpu, bool full)
+{
+    std::vector<InvariantFailure> fails = collectInvariantFailures(cpu, full);
+    if (fails.empty()) {
+        return;
+    }
+    throw InvariantViolation(fails.front().component, cpu.now(),
+                             fails.front().detail, cpu.dumpState());
+}
+
+} // namespace udp

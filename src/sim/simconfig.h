@@ -17,8 +17,24 @@
 #include "frontend/fdip.h"
 #include "frontend/fetch.h"
 #include "prefetch/eip.h"
+#include "sim/faultinject.h"
 
 namespace udp {
+
+/** Forward-progress watchdog + invariant-sweep cadence (docs/ROBUSTNESS.md). */
+struct WatchdogConfig
+{
+    /** Cycles without a single retirement before the watchdog throws
+     *  SimHang (kind retire_stall). 0 disables the stall watchdog. */
+    Cycle retireStallCycles = 100'000;
+    /** Absolute cycle budget for the whole run; exceeding it throws
+     *  SimHang (kind cycle_budget). 0 = unlimited. Sweeps can set this
+     *  per job via SweepOptions::jobCycleBudget. */
+    Cycle maxCycles = 0;
+    /** Cycles between always-on cheap invariant sweeps. 0 disables
+     *  periodic sweeps (UDP_CHECK builds still run the full sweep). */
+    Cycle invariantPeriod = 4096;
+};
 
 /** Everything needed to build a Cpu. */
 struct SimConfig
@@ -45,6 +61,12 @@ struct SimConfig
     /** Enable the EIP baseline prefetcher (usually with fdip.enabled off). */
     bool eipEnabled = false;
     EipConfig eip;
+
+    /** Hang detection and invariant-sweep cadence. */
+    WatchdogConfig watchdog;
+
+    /** Fault injection (kind None = clean run; tests/test_faults.cc). */
+    FaultPlan fault;
 };
 
 /** Named preset configurations used across benches and examples. */

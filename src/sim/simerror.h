@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Structured simulation errors raised by the hardening layer (watchdog,
+ * invariant checker). Every error carries machine-readable fields — kind,
+ * component, cycle — plus a multi-component diagnostic dump captured at
+ * the moment of failure, so sweep-level tooling (sim/sweep.h) can record
+ * a structured failure row instead of a bare what() string.
+ */
+
+#ifndef UDP_SIM_SIMERROR_H
+#define UDP_SIM_SIMERROR_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.h"
+
+namespace udp {
+
+/** What went wrong, machine-readable (sink key "error_kind"). */
+enum class SimErrorKind : std::uint8_t {
+    /** Watchdog: no instruction retired for the configured window. */
+    RetireStall,
+    /** Watchdog: the global cycle budget was exhausted. */
+    CycleBudget,
+    /** The periodic invariant sweep found corrupted modeled state. */
+    InvariantViolation,
+};
+
+/** Stable snake_case name of @p k (used in failure rows and tests). */
+constexpr const char*
+simErrorKindName(SimErrorKind k)
+{
+    switch (k) {
+    case SimErrorKind::RetireStall: return "retire_stall";
+    case SimErrorKind::CycleBudget: return "cycle_budget";
+    case SimErrorKind::InvariantViolation: return "invariant";
+    }
+    return "unknown";
+}
+
+/** Base of all structured simulation failures. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(SimErrorKind kind, std::string component, Cycle cycle,
+             const std::string& message, std::string dump)
+        : std::runtime_error(formatWhat(kind, component, cycle, message)),
+          kind_(kind),
+          component_(std::move(component)),
+          cycle_(cycle),
+          dump_(std::move(dump))
+    {
+    }
+
+    SimErrorKind kind() const { return kind_; }
+    const char* kindName() const { return simErrorKindName(kind_); }
+    /** Component that failed ("backend", "ftq", "mshr", ...). */
+    const std::string& component() const { return component_; }
+    /** Simulated cycle at which the error was raised. */
+    Cycle cycle() const { return cycle_; }
+    /** Multi-component state dump (Cpu::dumpState()) at failure time. */
+    const std::string& dump() const { return dump_; }
+
+  private:
+    static std::string
+    formatWhat(SimErrorKind kind, const std::string& component, Cycle cycle,
+               const std::string& message)
+    {
+        std::string s;
+        s.reserve(64 + component.size() + message.size());
+        s.append("[").append(simErrorKindName(kind)).append("] cycle ");
+        s.append(std::to_string(cycle));
+        s.append(", ").append(component).append(": ").append(message);
+        return s;
+    }
+
+    SimErrorKind kind_;
+    std::string component_;
+    Cycle cycle_;
+    std::string dump_;
+};
+
+/**
+ * Forward progress was lost: retirement stalled beyond the watchdog
+ * window (kind RetireStall) or the whole simulation overran its cycle
+ * budget (kind CycleBudget).
+ */
+class SimHang : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/** A cross-component invariant sweep (sim/invariants.h) failed. */
+class InvariantViolation : public SimError
+{
+  public:
+    InvariantViolation(std::string component, Cycle cycle,
+                       const std::string& message, std::string dump)
+        : SimError(SimErrorKind::InvariantViolation, std::move(component),
+                   cycle, message, std::move(dump))
+    {
+    }
+};
+
+} // namespace udp
+
+#endif // UDP_SIM_SIMERROR_H

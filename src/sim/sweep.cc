@@ -3,10 +3,13 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <thread>
 
 #include "sim/pool.h"
+#include "sim/simerror.h"
 
 namespace udp {
 
@@ -18,6 +21,50 @@ double
 secondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Filesystem-safe version of a job label. */
+std::string
+sanitizeLabel(const std::string& label)
+{
+    std::string out;
+    out.reserve(label.size());
+    for (char c : label) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+        out += ok ? c : '_';
+    }
+    return out.empty() ? std::string("job") : out;
+}
+
+/**
+ * Writes a failure's diagnostics under @p dir; returns the file path, or
+ * "" when the write failed (the dump stays available in JobResult).
+ */
+std::string
+writeFailureDump(const std::string& dir, const std::string& label,
+                 std::size_t index, const JobError& err)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "[sweep] cannot create dump dir \"%s\": %s\n",
+                     dir.c_str(), ec.message().c_str());
+        return "";
+    }
+    std::string path = dir + "/" + sanitizeLabel(label) + "-" +
+                       std::to_string(index) + ".dump.txt";
+    std::ofstream out(path, std::ios::out | std::ios::trunc);
+    if (!out.is_open()) {
+        std::fprintf(stderr, "[sweep] cannot open dump file \"%s\"\n",
+                     path.c_str());
+        return "";
+    }
+    out << err.message << '\n';
+    if (!err.dump.empty()) {
+        out << err.dump;
+    }
+    return path;
 }
 
 } // namespace
@@ -39,38 +86,79 @@ SweepRunner::SweepRunner(SweepOptions options)
 {
 }
 
-std::vector<Report>
-SweepRunner::run(const std::vector<SweepJob>& jobs) const
+std::vector<JobResult>
+SweepRunner::runChecked(const std::vector<SweepJob>& jobs) const
 {
-    std::vector<Report> results(jobs.size());
+    std::vector<JobResult> results(jobs.size());
     if (jobs.empty()) {
         return results;
     }
 
-    // Progress + error state shared by the workers.
+    // Progress state shared by the workers.
     std::mutex mtx;
     std::size_t done = 0;
-    std::size_t firstErrorIndex = jobs.size();
-    std::exception_ptr firstError;
+    std::size_t failed = 0;
     const Clock::time_point start = Clock::now();
+    const unsigned max_attempts = opts.maxAttempts == 0 ? 1 : opts.maxAttempts;
 
     auto runOne = [&](std::size_t i) {
-        try {
-            results[i] = runSim(jobs[i].profile, jobs[i].config,
-                                jobs[i].opts, jobs[i].label);
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(mtx);
-            if (i < firstErrorIndex) {
-                firstErrorIndex = i;
-                firstError = std::current_exception();
-            }
-            return;
+        JobResult& jr = results[i];
+        SweepJob job = jobs[i]; // per-worker copy: the budget is per batch
+        if (opts.jobCycleBudget != 0 && job.config.watchdog.maxCycles == 0) {
+            job.config.watchdog.maxCycles = opts.jobCycleBudget;
         }
+
+        for (unsigned attempt = 1; attempt <= max_attempts && !jr.ok;
+             ++attempt) {
+            jr.attempts = attempt;
+            try {
+                jr.report =
+                    runSim(job.profile, job.config, job.opts, job.label);
+                jr.ok = true;
+            } catch (const SimError& e) {
+                jr.error = JobError{};
+                jr.error.kind = e.kindName();
+                jr.error.component = e.component();
+                jr.error.message = e.what();
+                jr.error.dump = e.dump();
+                jr.error.cycle = e.cycle();
+                jr.exception = std::current_exception();
+            } catch (const std::exception& e) {
+                jr.error = JobError{};
+                jr.error.kind = "exception";
+                jr.error.message = e.what();
+                jr.exception = std::current_exception();
+            } catch (...) {
+                jr.error = JobError{};
+                jr.error.kind = "exception";
+                jr.error.message = "unknown exception";
+                jr.exception = std::current_exception();
+            }
+        }
+
+        if (!jr.ok && !opts.dumpDir.empty()) {
+            jr.error.dumpPath =
+                writeFailureDump(opts.dumpDir, job.label, i, jr.error);
+        }
+
+        // A failed job still counts as done: progress always reaches
+        // total and the ETA is computed from every finished job.
         std::lock_guard<std::mutex> lock(mtx);
         ++done;
+        if (!jr.ok) {
+            ++failed;
+            if (!opts.quiet) {
+                std::fprintf(stderr,
+                             "[sweep] job %zu \"%s\" failed after %u "
+                             "attempt(s): %s\n",
+                             i, job.label.c_str(), jr.attempts,
+                             jr.error.message.c_str());
+            }
+        }
         SweepProgress p;
         p.done = done;
         p.total = jobs.size();
+        p.failed = failed;
         p.elapsedSec = secondsSince(start);
         p.etaSec = p.done == 0
                        ? 0.0
@@ -80,9 +168,9 @@ SweepRunner::run(const std::vector<SweepJob>& jobs) const
             opts.onProgress(p);
         } else if (!opts.quiet) {
             std::fprintf(stderr,
-                         "[sweep] %zu/%zu jobs done, %.1fs elapsed, "
-                         "eta %.1fs\n",
-                         p.done, p.total, p.elapsedSec, p.etaSec);
+                         "[sweep] %zu/%zu jobs done (%zu failed), %.1fs "
+                         "elapsed, eta %.1fs\n",
+                         p.done, p.total, p.failed, p.elapsedSec, p.etaSec);
         }
     };
 
@@ -99,8 +187,23 @@ SweepRunner::run(const std::vector<SweepJob>& jobs) const
         pool.wait();
     }
 
-    if (firstError) {
-        std::rethrow_exception(firstError);
+    return results;
+}
+
+std::vector<Report>
+SweepRunner::run(const std::vector<SweepJob>& jobs) const
+{
+    std::vector<JobResult> checked = runChecked(jobs);
+    // All-or-nothing contract: surface the first failure by job index.
+    for (const JobResult& jr : checked) {
+        if (!jr.ok) {
+            std::rethrow_exception(jr.exception);
+        }
+    }
+    std::vector<Report> results;
+    results.reserve(checked.size());
+    for (JobResult& jr : checked) {
+        results.push_back(std::move(jr.report));
     }
     return results;
 }
@@ -109,6 +212,12 @@ std::vector<Report>
 runSweep(const std::vector<SweepJob>& jobs)
 {
     return SweepRunner{}.run(jobs);
+}
+
+std::vector<JobResult>
+runSweepChecked(const std::vector<SweepJob>& jobs, SweepOptions options)
+{
+    return SweepRunner{std::move(options)}.runChecked(jobs);
 }
 
 } // namespace udp

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include <exception>
+
 #include "sim/runner.h"
 #include "sim/simconfig.h"
 #include "workload/profile.h"
@@ -33,11 +35,45 @@ struct SweepJob
     std::string label;
 };
 
+/** Structured description of one failed job (docs/ROBUSTNESS.md). */
+struct JobError
+{
+    /** SimError kind name ("retire_stall", "cycle_budget", "invariant")
+     *  or "exception" for anything else that escaped runSim(). */
+    std::string kind;
+    /** Failing component for SimErrors ("backend", "mshr", ...), else "". */
+    std::string component;
+    /** what() of the final attempt's exception. */
+    std::string message;
+    /** Multi-component diagnostic dump (SimError only, possibly ""). */
+    std::string dump;
+    /** File the dump was written to (SweepOptions::dumpDir), or "". */
+    std::string dumpPath;
+    /** Simulated cycle of the failure (SimError only). */
+    Cycle cycle = 0;
+};
+
+/** Outcome of one sweep job: a Report, or a structured error. */
+struct JobResult
+{
+    Report report; ///< valid only when ok
+    bool ok = false;
+    /** Attempts consumed (1..SweepOptions::maxAttempts). */
+    unsigned attempts = 0;
+    JobError error; ///< valid only when !ok
+    /** Original exception of the final attempt (rethrowable), !ok only. */
+    std::exception_ptr exception;
+};
+
 /** Progress snapshot passed to the progress callback after each job. */
 struct SweepProgress
 {
+    /** Jobs finished (successfully or not) — failures count, so done
+     *  always reaches total and the ETA stays honest. */
     std::size_t done = 0;
     std::size_t total = 0;
+    /** Jobs that exhausted their attempts without a Report. */
+    std::size_t failed = 0;
     double elapsedSec = 0.0;
     /** Remaining-time estimate from the mean per-job rate so far. */
     double etaSec = 0.0;
@@ -54,6 +90,17 @@ struct SweepOptions
     std::function<void(const SweepProgress&)> onProgress;
     /** Suppresses the default stderr progress stream. */
     bool quiet = false;
+    /** Attempts per job (>= 1): a failing job is retried maxAttempts-1
+     *  times before its failure is recorded. Retries target transient
+     *  host-level faults; a deterministic SimError will simply recur. */
+    unsigned maxAttempts = 1;
+    /** Per-job cycle budget: installed as watchdog.maxCycles on every job
+     *  whose config leaves it 0, so one pathological sweep point cannot
+     *  hang the batch. 0 = leave each job's configuration alone. */
+    Cycle jobCycleBudget = 0;
+    /** Directory for per-failure diagnostic dump files (created on
+     *  demand). Empty = keep dumps in memory only (JobResult::error). */
+    std::string dumpDir;
 };
 
 /**
@@ -69,9 +116,18 @@ class SweepRunner
     explicit SweepRunner(SweepOptions options = {});
 
     /**
+     * Fault-tolerant execution: runs every job and returns one JobResult
+     * per job, in job order. A crashing or hanging job never takes the
+     * batch down — its structured error (and optional dump file) is
+     * recorded and every other job still produces its Report.
+     */
+    std::vector<JobResult> runChecked(const std::vector<SweepJob>& jobs) const;
+
+    /**
      * Runs every job and returns one Report per job, in job order.
      * Rethrows the first job exception (by job index) after the batch
-     * drains.
+     * drains. Thin wrapper over runChecked() for callers that prefer
+     * all-or-nothing semantics.
      */
     std::vector<Report> run(const std::vector<SweepJob>& jobs) const;
 
@@ -93,6 +149,10 @@ class SweepRunner
 
 /** Convenience: run @p jobs with default options (UDP_JOBS-sized pool). */
 std::vector<Report> runSweep(const std::vector<SweepJob>& jobs);
+
+/** Convenience: fault-tolerant sweep with explicit options. */
+std::vector<JobResult> runSweepChecked(const std::vector<SweepJob>& jobs,
+                                       SweepOptions options = {});
 
 } // namespace udp
 

@@ -126,6 +126,49 @@ reportToCsvRow(const Report& r)
     return out;
 }
 
+std::vector<std::string>
+failureSchemaKeys()
+{
+    return {"workload", "config",    "error_kind", "component",
+            "cycle",    "attempts",  "message",    "dump_path"};
+}
+
+std::string
+failureToJsonLine(const FailureRow& f)
+{
+    std::string out = "{\"workload\":\"" + jsonEscape(f.workload) +
+                      "\",\"config\":\"" + jsonEscape(f.config) +
+                      "\",\"error_kind\":\"" + jsonEscape(f.errorKind) +
+                      "\",\"component\":\"" + jsonEscape(f.component) +
+                      "\",\"cycle\":" + std::to_string(f.cycle) +
+                      ",\"attempts\":" + std::to_string(f.attempts) +
+                      ",\"message\":\"" + jsonEscape(f.message) +
+                      "\",\"dump_path\":\"" + jsonEscape(f.dumpPath) + "\"}";
+    return out;
+}
+
+std::string
+failureCsvHeader()
+{
+    std::string out;
+    for (const std::string& key : failureSchemaKeys()) {
+        if (!out.empty()) {
+            out += ',';
+        }
+        out += key;
+    }
+    return out;
+}
+
+std::string
+failureToCsvRow(const FailureRow& f)
+{
+    return csvEscape(f.workload) + ',' + csvEscape(f.config) + ',' +
+           csvEscape(f.errorKind) + ',' + csvEscape(f.component) + ',' +
+           std::to_string(f.cycle) + ',' + std::to_string(f.attempts) +
+           ',' + csvEscape(f.message) + ',' + csvEscape(f.dumpPath);
+}
+
 bool
 ReportSink::openJson(const std::string& path)
 {
@@ -147,6 +190,7 @@ ReportSink::openCsv(const std::string& path)
                      path.c_str());
         return false;
     }
+    csvPath = path;
     csv << reportCsvHeader() << '\n';
     return true;
 }
@@ -171,6 +215,36 @@ ReportSink::writeAll(const std::vector<Report>& reports)
 }
 
 void
+ReportSink::writeFailure(const FailureRow& f)
+{
+    ++failures;
+    if (json.is_open()) {
+        json << failureToJsonLine(f) << '\n';
+    }
+    if (csv.is_open() && !failureCsv.is_open()) {
+        // Lazy sibling file: a clean sweep leaves no failure artifact,
+        // so "<name>.failures.csv exists" alone signals trouble.
+        std::string path = csvPath;
+        const std::string ext = ".csv";
+        if (path.size() >= ext.size() &&
+            path.compare(path.size() - ext.size(), ext.size(), ext) == 0) {
+            path.resize(path.size() - ext.size());
+        }
+        path += ".failures.csv";
+        failureCsv.open(path, std::ios::out | std::ios::trunc);
+        if (!failureCsv.is_open()) {
+            std::fprintf(stderr, "[udp] cannot open failure CSV \"%s\"\n",
+                         path.c_str());
+        } else {
+            failureCsv << failureCsvHeader() << '\n';
+        }
+    }
+    if (failureCsv.is_open()) {
+        failureCsv << failureToCsvRow(f) << '\n';
+    }
+}
+
+void
 ReportSink::close()
 {
     if (json.is_open()) {
@@ -178,6 +252,9 @@ ReportSink::close()
     }
     if (csv.is_open()) {
         csv.close();
+    }
+    if (failureCsv.is_open()) {
+        failureCsv.close();
     }
 }
 

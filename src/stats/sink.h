@@ -12,6 +12,7 @@
 #ifndef UDP_STATS_SINK_H
 #define UDP_STATS_SINK_H
 
+#include <cstdint>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -19,6 +20,36 @@
 namespace udp {
 
 struct Report;
+
+/**
+ * Machine-readable record of one failed sweep job (docs/ROBUSTNESS.md has
+ * the schema table). Written next to the successful Reports so a partially
+ * failing sweep still yields a complete, parseable artifact set.
+ */
+struct FailureRow
+{
+    std::string workload;
+    std::string config;    ///< the job label
+    std::string errorKind; ///< simErrorKindName() or "exception"
+    std::string component; ///< failing component, "" for plain exceptions
+    std::string message;   ///< exception what()
+    std::string dumpPath;  ///< diagnostic dump file, "" when none written
+    std::uint64_t cycle = 0;
+    std::uint64_t attempts = 1;
+};
+
+/** Ordered list of failure-row schema keys. */
+std::vector<std::string> failureSchemaKeys();
+
+/** One JSON object (single line) for @p f. Distinguishable from report
+ *  lines in the same stream by the presence of the "error_kind" key. */
+std::string failureToJsonLine(const FailureRow& f);
+
+/** The CSV header row (no trailing newline) matching failureToCsvRow. */
+std::string failureCsvHeader();
+
+/** One CSV data row (no trailing newline) for @p f. */
+std::string failureToCsvRow(const FailureRow& f);
 
 /** Ordered list of schema keys: "workload", "config", then every numeric
  *  StatSet key of Report. */
@@ -56,15 +87,29 @@ class ReportSink
     /** Appends each report in order to every open sink. */
     void writeAll(const std::vector<Report>& reports);
 
+    /**
+     * Appends @p f to the failure outputs: the JSON-lines file shared
+     * with reports (when open), and a sibling "<csv>.failures.csv" file
+     * opened lazily on the first failure (when the CSV sink is open —
+     * failures have different columns than reports).
+     */
+    void writeFailure(const FailureRow& f);
+
     /** True when at least one sink is open. */
     bool active() const { return json.is_open() || csv.is_open(); }
 
-    /** Flushes and closes both sinks (also done on destruction). */
+    /** Failure rows written so far (benches use this for exit codes). */
+    std::size_t failureCount() const { return failures; }
+
+    /** Flushes and closes all sinks (also done on destruction). */
     void close();
 
   private:
     std::ofstream json;
     std::ofstream csv;
+    std::ofstream failureCsv;
+    std::string csvPath;
+    std::size_t failures = 0;
 };
 
 } // namespace udp

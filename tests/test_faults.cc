@@ -1,0 +1,478 @@
+/**
+ * @file
+ * Tests for the simulation-hardening layer: the forward-progress watchdog
+ * (sim/cpu.cc), the cross-component invariant checker (sim/invariants.h),
+ * deterministic fault injection (sim/faultinject.h) and fault-tolerant
+ * sweeps (SweepRunner::runChecked + failure-row sinks). Every injectable
+ * fault class must be detected with the right structured SimError kind
+ * and a non-empty multi-component diagnostic dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/cpu.h"
+#include "sim/faultinject.h"
+#include "sim/invariants.h"
+#include "sim/simerror.h"
+#include "sim/sweep.h"
+#include "stats/sink.h"
+#include "workload/builder.h"
+
+namespace udp {
+namespace {
+
+RunOptions
+tinyOptions()
+{
+    RunOptions o;
+    o.warmupInstrs = 10'000;
+    o.measureInstrs = 20'000;
+    return o;
+}
+
+/** A small workload so each run is fast. */
+Profile
+tinyProfile(const std::string& name, std::uint64_t seed)
+{
+    Profile p = profileByName("mediawiki");
+    p.name = name;
+    p.seed = seed;
+    p.codeFootprintKB = 64;
+    return p;
+}
+
+/** Baseline config with fast watchdog/invariant cadences for tests. */
+SimConfig
+hardenedConfig()
+{
+    SimConfig c = presets::fdipBaseline();
+    c.watchdog.retireStallCycles = 5'000;
+    c.watchdog.invariantPeriod = 64;
+    return c;
+}
+
+void
+expectIdenticalReports(const Report& a, const Report& b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.configName, b.configName);
+    const StatSet sa = a.toStatSet();
+    const StatSet sb = b.toStatSet();
+    const auto& ea = sa.entries();
+    const auto& eb = sb.entries();
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_EQ(ea[i].first, eb[i].first);
+        EXPECT_EQ(ea[i].second, eb[i].second)
+            << "stat " << ea[i].first << " differs";
+    }
+}
+
+/**
+ * Runs the faulty config and returns the SimError subclass it must raise.
+ * A completed run or a wrong exception type fails the test (the rethrow
+ * is reported by gtest as the failure cause).
+ */
+template <typename ErrorT>
+ErrorT
+expectSimError(const SimConfig& cfg, const char* label)
+{
+    Profile p = tinyProfile("faulttest", 7);
+    try {
+        runSim(p, cfg, tinyOptions(), label);
+    } catch (const ErrorT& e) {
+        return e;
+    } catch (const std::exception& e) {
+        ADD_FAILURE() << label << ": wrong exception type: " << e.what();
+        throw;
+    }
+    ADD_FAILURE() << label << ": expected a SimError, run completed";
+    throw std::runtime_error("expected SimError");
+}
+
+// --- watchdog --------------------------------------------------------------
+
+TEST(Watchdog, FreezeRetireTripsRetireStallWithinBudget)
+{
+    SimConfig c = hardenedConfig();
+    c.fault.kind = FaultKind::FreezeRetire;
+    c.fault.triggerCycle = 500;
+
+    SimHang e = expectSimError<SimHang>(c, "freeze");
+    EXPECT_EQ(e.kind(), SimErrorKind::RetireStall);
+    EXPECT_STREQ(e.kindName(), "retire_stall");
+    EXPECT_EQ(e.component(), "backend");
+    // The deliberately deadlocked sim must terminate within the watchdog
+    // window of the freeze (plus one window of slack for the last retire
+    // before the freeze landed).
+    EXPECT_GE(e.cycle(), c.fault.triggerCycle);
+    EXPECT_LE(e.cycle(),
+              c.fault.triggerCycle + 2 * c.watchdog.retireStallCycles);
+    // Multi-component diagnostic dump.
+    EXPECT_NE(e.dump().find("[cpu]"), std::string::npos);
+    EXPECT_NE(e.dump().find("[ftq]"), std::string::npos);
+    EXPECT_NE(e.dump().find("[fetch]"), std::string::npos);
+    EXPECT_NE(e.dump().find("[rob]"), std::string::npos);
+    EXPECT_NE(e.dump().find("[mshr]"), std::string::npos);
+    EXPECT_NE(e.dump().find("frozen=1"), std::string::npos);
+}
+
+TEST(Watchdog, CycleBudgetTrips)
+{
+    SimConfig c = presets::fdipBaseline();
+    c.watchdog.maxCycles = 2'000; // far below what 30k instructions need
+
+    SimHang e = expectSimError<SimHang>(c, "budget");
+    EXPECT_EQ(e.kind(), SimErrorKind::CycleBudget);
+    EXPECT_STREQ(e.kindName(), "cycle_budget");
+    EXPECT_EQ(e.cycle(), c.watchdog.maxCycles);
+    EXPECT_NE(e.dump().find("[rob]"), std::string::npos);
+}
+
+TEST(Watchdog, DelayFillWedgesFetchAndTripsRetireStall)
+{
+    SimConfig c = hardenedConfig();
+    c.watchdog.invariantPeriod = 0; // a delayed fill is not an invariant
+    c.fault.kind = FaultKind::DelayFill;
+    c.fault.triggerCycle = 200;
+
+    SimHang e = expectSimError<SimHang>(c, "delay");
+    EXPECT_EQ(e.kind(), SimErrorKind::RetireStall);
+    EXPECT_NE(e.dump().find("[mshr]"), std::string::npos);
+}
+
+// --- invariant checker -----------------------------------------------------
+
+TEST(Invariants, DropFillTripsMshrLeak)
+{
+    SimConfig c = hardenedConfig();
+    c.fault.kind = FaultKind::DropFill;
+    c.fault.triggerCycle = 200;
+
+    InvariantViolation e = expectSimError<InvariantViolation>(c, "drop");
+    EXPECT_EQ(e.kind(), SimErrorKind::InvariantViolation);
+    EXPECT_STREQ(e.kindName(), "invariant");
+    EXPECT_EQ(e.component(), "mshr");
+    EXPECT_NE(std::string(e.what()).find("leaked"), std::string::npos);
+    EXPECT_FALSE(e.dump().empty());
+}
+
+TEST(Invariants, LeakMshrTripsMshrLeak)
+{
+    SimConfig c = hardenedConfig();
+    c.fault.kind = FaultKind::LeakMshr;
+    c.fault.triggerCycle = 200;
+
+    InvariantViolation e = expectSimError<InvariantViolation>(c, "leak");
+    EXPECT_EQ(e.component(), "mshr");
+    EXPECT_NE(std::string(e.what()).find("leaked"), std::string::npos);
+}
+
+TEST(Invariants, DuplicateMshrTripsDuplicateLine)
+{
+    SimConfig c = hardenedConfig();
+    c.fault.kind = FaultKind::DuplicateMshr;
+    c.fault.triggerCycle = 200;
+
+    InvariantViolation e = expectSimError<InvariantViolation>(c, "dup");
+    EXPECT_EQ(e.component(), "mshr");
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+}
+
+TEST(Invariants, CorruptFtqEntryTripsWellFormedness)
+{
+    SimConfig c = hardenedConfig();
+    c.fault.kind = FaultKind::CorruptFtqEntry;
+    c.fault.triggerCycle = 200;
+
+    InvariantViolation e = expectSimError<InvariantViolation>(c, "corrupt");
+    EXPECT_EQ(e.component(), "ftq");
+    EXPECT_NE(std::string(e.what()).find("invalid startPc"),
+              std::string::npos);
+    EXPECT_NE(e.dump().find("[ftq]"), std::string::npos);
+}
+
+TEST(Invariants, CleanRunIsUnaffectedByChecking)
+{
+    // Same run with aggressive checking vs checking disabled: the checks
+    // must be observation-only, so the Reports are bit-identical.
+    Profile p = tinyProfile("cleantest", 3);
+    SimConfig checked = hardenedConfig();
+    checked.watchdog.invariantPeriod = 16;
+
+    SimConfig unchecked = presets::fdipBaseline();
+    unchecked.watchdog.retireStallCycles = 0;
+    unchecked.watchdog.invariantPeriod = 0;
+
+    Report a = runSim(p, checked, tinyOptions(), "cfg");
+    Report b = runSim(p, unchecked, tinyOptions(), "cfg");
+    expectIdenticalReports(a, b);
+}
+
+TEST(Invariants, HealthyCpuCollectsNoFailures)
+{
+    Profile p = tinyProfile("collect", 5);
+    Program prog = ProgramBuilder::build(p);
+    SimConfig c = presets::udp8k();
+    c.uftq.mode = UftqMode::AtrAur;
+    Cpu cpu(prog, c);
+    cpu.runUntilRetired(5'000);
+    EXPECT_TRUE(collectInvariantFailures(cpu, /*full=*/false).empty());
+    EXPECT_TRUE(collectInvariantFailures(cpu, /*full=*/true).empty());
+    // The dump is well-formed even on a healthy machine.
+    std::string dump = cpu.dumpState();
+    EXPECT_NE(dump.find("[cpu]"), std::string::npos);
+    EXPECT_NE(dump.find("[uftq]"), std::string::npos);
+    EXPECT_NE(dump.find("[udp]"), std::string::npos);
+}
+
+// --- fault-tolerant sweeps -------------------------------------------------
+
+/** Three healthy jobs + one deadlocking job at index 1. */
+std::vector<SweepJob>
+mixedJobs()
+{
+    RunOptions o = tinyOptions();
+    Profile p = tinyProfile("sweepfault", 11);
+    SimConfig bad = hardenedConfig();
+    bad.fault.kind = FaultKind::FreezeRetire;
+    bad.fault.triggerCycle = 500;
+
+    std::vector<SweepJob> jobs;
+    jobs.push_back({p, presets::fdipBaseline(), o, "fdip32"});
+    jobs.push_back({p, bad, o, "frozen"});
+    jobs.push_back({p, presets::fdipWithFtq(64), o, "ftq64"});
+    jobs.push_back({p, presets::noPrefetch(), o, "nopf"});
+    return jobs;
+}
+
+TEST(SweepChecked, OneCrashingJobStillYieldsEveryOtherReport)
+{
+    std::vector<SweepJob> jobs = mixedJobs();
+
+    std::vector<SweepProgress> seen;
+    SweepOptions opts;
+    opts.numThreads = 2;
+    opts.quiet = true;
+    opts.onProgress = [&seen](const SweepProgress& p) { seen.push_back(p); };
+    std::vector<JobResult> results = SweepRunner(opts).runChecked(jobs);
+
+    ASSERT_EQ(results.size(), jobs.size());
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_TRUE(results[2].ok);
+    EXPECT_TRUE(results[3].ok);
+    ASSERT_FALSE(results[1].ok);
+    EXPECT_EQ(results[1].error.kind, "retire_stall");
+    EXPECT_EQ(results[1].error.component, "backend");
+    EXPECT_GT(results[1].error.cycle, 0u);
+    EXPECT_FALSE(results[1].error.dump.empty());
+    EXPECT_TRUE(static_cast<bool>(results[1].exception));
+
+    // The healthy jobs' Reports are exactly what a clean sweep produces.
+    std::vector<SweepJob> clean = {jobs[0], jobs[2], jobs[3]};
+    SweepOptions serial;
+    serial.numThreads = 1;
+    serial.quiet = true;
+    std::vector<Report> ref = SweepRunner(serial).run(clean);
+    expectIdenticalReports(results[0].report, ref[0]);
+    expectIdenticalReports(results[2].report, ref[1]);
+    expectIdenticalReports(results[3].report, ref[2]);
+
+    // Progress: a failed job still counts, so done reaches total and the
+    // failure is visible in the snapshots (the satellite fix).
+    ASSERT_EQ(seen.size(), jobs.size());
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_EQ(seen[i].done, i + 1);
+        EXPECT_EQ(seen[i].total, jobs.size());
+    }
+    EXPECT_EQ(seen.back().failed, 1u);
+    EXPECT_DOUBLE_EQ(seen.back().etaSec, 0.0);
+}
+
+TEST(SweepChecked, RunRethrowsTheFirstFailure)
+{
+    std::vector<SweepJob> jobs = mixedJobs();
+    SweepOptions opts;
+    opts.numThreads = 2;
+    opts.quiet = true;
+    EXPECT_THROW(SweepRunner(opts).run(jobs), SimHang);
+}
+
+TEST(SweepChecked, JobCycleBudgetBoundsAHangingJob)
+{
+    // The job's own watchdog is fully disabled: without the sweep-level
+    // budget this job would hang the batch forever.
+    RunOptions o = tinyOptions();
+    SimConfig bad = presets::fdipBaseline();
+    bad.watchdog.retireStallCycles = 0;
+    bad.watchdog.invariantPeriod = 0;
+    bad.fault.kind = FaultKind::FreezeRetire;
+    bad.fault.triggerCycle = 500;
+
+    std::vector<SweepJob> jobs = {
+        {tinyProfile("budget", 13), bad, o, "frozen"}};
+    SweepOptions opts;
+    opts.numThreads = 1;
+    opts.quiet = true;
+    opts.jobCycleBudget = 20'000;
+    std::vector<JobResult> results = SweepRunner(opts).runChecked(jobs);
+    ASSERT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].error.kind, "cycle_budget");
+    EXPECT_EQ(results[0].error.cycle, 20'000u);
+}
+
+TEST(SweepChecked, RetriesAreBoundedAndCounted)
+{
+    std::vector<SweepJob> jobs = mixedJobs();
+    SweepOptions opts;
+    opts.numThreads = 2;
+    opts.quiet = true;
+    opts.maxAttempts = 2;
+    std::vector<JobResult> results = SweepRunner(opts).runChecked(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    EXPECT_EQ(results[0].attempts, 1u); // success on the first try
+    ASSERT_FALSE(results[1].ok);        // deterministic fault: still fails
+    EXPECT_EQ(results[1].attempts, 2u); // ...but consumed both attempts
+}
+
+TEST(SweepChecked, FailureDumpIsWrittenToDumpDir)
+{
+    std::string dir = ::testing::TempDir() + "udp_fault_dumps";
+    std::filesystem::remove_all(dir);
+
+    std::vector<SweepJob> jobs = mixedJobs();
+    SweepOptions opts;
+    opts.numThreads = 1;
+    opts.quiet = true;
+    opts.dumpDir = dir;
+    std::vector<JobResult> results = SweepRunner(opts).runChecked(jobs);
+    ASSERT_FALSE(results[1].ok);
+    ASSERT_FALSE(results[1].error.dumpPath.empty());
+    std::ifstream in(results[1].error.dumpPath);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("retire_stall"), std::string::npos);
+    EXPECT_NE(ss.str().find("[rob]"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+// --- failure-row sinks -----------------------------------------------------
+
+FailureRow
+sampleFailure()
+{
+    FailureRow f;
+    f.workload = "mysql";
+    f.config = "udp8k";
+    f.errorKind = "retire_stall";
+    f.component = "backend";
+    f.message = "no instruction retired for 5000 cycles";
+    f.dumpPath = "dumps/udp8k-1.dump.txt";
+    f.cycle = 12'345;
+    f.attempts = 2;
+    return f;
+}
+
+TEST(Sink, FailureRowSerialization)
+{
+    FailureRow f = sampleFailure();
+    std::string json = failureToJsonLine(f);
+    EXPECT_NE(json.find("\"workload\":\"mysql\""), std::string::npos);
+    EXPECT_NE(json.find("\"error_kind\":\"retire_stall\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"component\":\"backend\""), std::string::npos);
+    EXPECT_NE(json.find("\"cycle\":12345"), std::string::npos);
+    EXPECT_NE(json.find("\"attempts\":2"), std::string::npos);
+    // Report lines never carry "error_kind": the discriminator key.
+    EXPECT_EQ(reportToJsonLine(Report{}).find("error_kind"),
+              std::string::npos);
+
+    auto commas = [](const std::string& s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(commas(failureToCsvRow(f)), commas(failureCsvHeader()));
+    EXPECT_EQ(failureSchemaKeys().size(),
+              static_cast<std::size_t>(commas(failureCsvHeader())) + 1);
+}
+
+TEST(Sink, WriteFailureCreatesSiblingCsvAndTaggedJsonLine)
+{
+    std::string json_path = ::testing::TempDir() + "fault_sink.jsonl";
+    std::string csv_path = ::testing::TempDir() + "fault_sink.csv";
+    std::string fail_path = ::testing::TempDir() + "fault_sink.failures.csv";
+    std::remove(fail_path.c_str());
+
+    Report r;
+    r.workload = "app";
+    r.configName = "cfg";
+
+    ReportSink sink;
+    ASSERT_TRUE(sink.openJson(json_path));
+    ASSERT_TRUE(sink.openCsv(csv_path));
+    sink.write(r);
+    EXPECT_EQ(sink.failureCount(), 0u);
+    sink.writeFailure(sampleFailure());
+    EXPECT_EQ(sink.failureCount(), 1u);
+    sink.close();
+
+    // JSONL: report line then failure line, in the same stream.
+    std::ifstream jf(json_path);
+    std::string l1;
+    std::string l2;
+    ASSERT_TRUE(std::getline(jf, l1));
+    ASSERT_TRUE(std::getline(jf, l2));
+    EXPECT_EQ(l1, reportToJsonLine(r));
+    EXPECT_EQ(l2, failureToJsonLine(sampleFailure()));
+
+    // The failure CSV is a sibling file with its own header.
+    std::ifstream ff(fail_path);
+    ASSERT_TRUE(ff.is_open());
+    std::string header;
+    std::string row;
+    ASSERT_TRUE(std::getline(ff, header));
+    EXPECT_EQ(header, failureCsvHeader());
+    ASSERT_TRUE(std::getline(ff, row));
+    EXPECT_EQ(row, failureToCsvRow(sampleFailure()));
+
+    std::remove(json_path.c_str());
+    std::remove(csv_path.c_str());
+    std::remove(fail_path.c_str());
+}
+
+// --- error-type plumbing ---------------------------------------------------
+
+TEST(SimErrorTypes, KindNamesAreStable)
+{
+    EXPECT_STREQ(simErrorKindName(SimErrorKind::RetireStall),
+                 "retire_stall");
+    EXPECT_STREQ(simErrorKindName(SimErrorKind::CycleBudget),
+                 "cycle_budget");
+    EXPECT_STREQ(simErrorKindName(SimErrorKind::InvariantViolation),
+                 "invariant");
+    EXPECT_STREQ(faultKindName(FaultKind::DropFill), "drop_fill");
+    EXPECT_STREQ(faultKindName(FaultKind::FreezeRetire), "freeze_retire");
+}
+
+TEST(SimErrorTypes, WhatCombinesTheStructuredFields)
+{
+    SimError e(SimErrorKind::RetireStall, "backend", 42, "stalled", "dump");
+    EXPECT_STREQ(e.what(), "[retire_stall] cycle 42, backend: stalled");
+    EXPECT_EQ(e.dump(), "dump");
+    // SimError is catchable as std::runtime_error (sweep fallback path).
+    try {
+        throw InvariantViolation("ftq", 7, "bad entry", "");
+    } catch (const std::runtime_error& re) {
+        EXPECT_NE(std::string(re.what()).find("invariant"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace udp

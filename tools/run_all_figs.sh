@@ -9,12 +9,25 @@
 #
 # Tunables (environment): UDP_BENCH_WARMUP / UDP_BENCH_INSTR (instruction
 # counts per data point, default here: 20k/40k), UDP_JOBS (sweep worker
-# count, default: all cores). See docs/EXPERIMENT_GUIDE.md.
+# count, default: all cores), UDP_BENCH_TIMEOUT (wall-clock seconds per
+# bench before it is killed and counted as hung, default: 900).
+# See docs/EXPERIMENT_GUIDE.md and docs/ROBUSTNESS.md.
 
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
 OUT_DIR=${2:-$BUILD_DIR/fig_artifacts}
+BENCH_TIMEOUT=${UDP_BENCH_TIMEOUT:-900}
+
+# Wall-clock guard around each bench: a modeling-bug hang inside one
+# binary must not wedge the whole sweep. `timeout` exits 124 on expiry.
+run_with_timeout() {
+    if command -v timeout > /dev/null 2>&1; then
+        timeout --signal=TERM --kill-after=30 "$BENCH_TIMEOUT" "$@"
+    else
+        "$@"
+    fi
+}
 
 if [[ ! -d "$BUILD_DIR/bench" ]]; then
     echo "error: $BUILD_DIR/bench not found — build first:" >&2
@@ -36,6 +49,7 @@ fig16_btb_sensitivity fig17_ftq_sensitivity table3_optimal_ftq
 ablation_udp"
 
 failures=0
+hung=0
 for bench in $ALL_BENCHES; do
     bin="$BUILD_DIR/bench/$bench"
     if [[ ! -x "$bin" ]]; then
@@ -48,10 +62,17 @@ for bench in $ALL_BENCHES; do
         args=(--json "$OUT_DIR/$bench.jsonl" --csv "$OUT_DIR/$bench.csv")
     fi
     echo "=== $bench ==="
-    if "$bin" "${args[@]}" > "$OUT_DIR/$bench.txt" 2> "$OUT_DIR/$bench.log"; then
+    rc=0
+    run_with_timeout "$bin" "${args[@]}" \
+        > "$OUT_DIR/$bench.txt" 2> "$OUT_DIR/$bench.log" || rc=$?
+    if [[ $rc -eq 0 ]]; then
         echo "ok       $bench"
+    elif [[ $rc -eq 124 || $rc -eq 137 ]]; then
+        echo "HUNG     $bench (killed after ${BENCH_TIMEOUT}s, see $OUT_DIR/$bench.log)" >&2
+        hung=$((hung + 1))
+        failures=$((failures + 1))
     else
-        echo "FAILED   $bench (see $OUT_DIR/$bench.log)" >&2
+        echo "FAILED   $bench (exit $rc, see $OUT_DIR/$bench.log)" >&2
         failures=$((failures + 1))
     fi
 done
@@ -59,22 +80,28 @@ done
 # The sweep-enabled example doubles as an API smoke check.
 if [[ -x "$BUILD_DIR/examples/example_compare_prefetchers" ]]; then
     echo "=== example_compare_prefetchers ==="
-    if "$BUILD_DIR/examples/example_compare_prefetchers" clang \
+    rc=0
+    run_with_timeout "$BUILD_DIR/examples/example_compare_prefetchers" clang \
         "$UDP_BENCH_INSTR" \
         --json "$OUT_DIR/compare_prefetchers.jsonl" \
         --csv "$OUT_DIR/compare_prefetchers.csv" \
         > "$OUT_DIR/compare_prefetchers.txt" \
-        2> "$OUT_DIR/compare_prefetchers.log"; then
+        2> "$OUT_DIR/compare_prefetchers.log" || rc=$?
+    if [[ $rc -eq 0 ]]; then
         echo "ok       example_compare_prefetchers"
+    elif [[ $rc -eq 124 || $rc -eq 137 ]]; then
+        echo "HUNG     example_compare_prefetchers (killed after ${BENCH_TIMEOUT}s)" >&2
+        hung=$((hung + 1))
+        failures=$((failures + 1))
     else
-        echo "FAILED   example_compare_prefetchers" >&2
+        echo "FAILED   example_compare_prefetchers (exit $rc)" >&2
         failures=$((failures + 1))
     fi
 fi
 
 echo
 if [[ $failures -ne 0 ]]; then
-    echo "$failures bench(es) failed; artifacts in $OUT_DIR" >&2
+    echo "$failures bench(es) failed ($hung hung); artifacts in $OUT_DIR" >&2
     exit 1
 fi
 echo "all benches passed; artifacts in $OUT_DIR"
