@@ -54,7 +54,7 @@ main(int argc, char** argv)
         nodem.mem.l1iPrefetchDemoteL2 = false;
         jobs.push_back({p, nodem, o, "nodem"});
     }
-    std::vector<JobResult> results = runBenchSweep(jobs);
+    std::vector<JobResult> results = runBenchSweep(jobs, sinks);
     std::vector<Report> reports = reportsOf(jobs, results);
 
     Table t({"app", "udp", "sftq_drop", "no_superblk", "thresh4",

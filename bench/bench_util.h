@@ -13,11 +13,14 @@
 #ifndef UDP_BENCH_BENCH_UTIL_H
 #define UDP_BENCH_BENCH_UTIL_H
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/faultinject.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
 #include "stats/sink.h"
@@ -55,17 +58,171 @@ optSearchDepths()
 inline const char* kFailureDumpDir = "failure_dumps";
 
 /**
+ * Artifact destinations and execution-mode flags shared by every bench:
+ *   --json PATH / --csv PATH    machine-readable artifacts (stats/sink.h)
+ *   --isolate                   run each point in a forked child process
+ *   --mem-mb N / --cpu-sec N /  per-child rlimits and wall-clock deadline
+ *   --wall-sec X                (isolate only; mem defaults to 4096 MB)
+ *   --manifest PATH             checkpoint manifest (default: derived from
+ *                               the CSV/JSON path)
+ *   --resume                    skip points the manifest records as done
+ */
+struct SinkArgs
+{
+    std::string jsonPath;
+    std::string csvPath;
+    bool isolate = false;
+    bool resume = false;
+    std::string manifestPath;
+    std::uint64_t memLimitMb = 0;  ///< 0 = default (4096 when isolating)
+    std::uint64_t cpuLimitSec = 0; ///< 0 = no RLIMIT_CPU
+    double wallLimitSec = 0.0;     ///< 0 = no wall deadline
+};
+
+/**
+ * Extracts the shared flags from argv; other arguments are left for the
+ * binary's own positional parsing via @p positional.
+ */
+inline SinkArgs
+parseSinkArgs(int argc, char** argv,
+              std::vector<std::string>* positional = nullptr)
+{
+    SinkArgs s;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json" && i + 1 < argc) {
+            s.jsonPath = argv[++i];
+        } else if (a == "--csv" && i + 1 < argc) {
+            s.csvPath = argv[++i];
+        } else if (a == "--isolate") {
+            s.isolate = true;
+        } else if (a == "--resume") {
+            s.resume = true;
+        } else if (a == "--manifest" && i + 1 < argc) {
+            s.manifestPath = argv[++i];
+        } else if (a == "--mem-mb" && i + 1 < argc) {
+            s.memLimitMb = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--cpu-sec" && i + 1 < argc) {
+            s.cpuLimitSec = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--wall-sec" && i + 1 < argc) {
+            s.wallLimitSec = std::strtod(argv[++i], nullptr);
+        } else if (positional != nullptr) {
+            positional->push_back(std::move(a));
+        }
+    }
+    return s;
+}
+
+/**
+ * The checkpoint manifest path for @p args: explicit --manifest wins,
+ * else it is derived from the CSV (or JSON) artifact path by replacing
+ * the extension with ".manifest.jsonl". "" when no artifact is requested
+ * (there is nothing durable to resume into).
+ */
+inline std::string
+defaultManifestPath(const SinkArgs& args)
+{
+    if (!args.manifestPath.empty()) {
+        return args.manifestPath;
+    }
+    std::string base = !args.csvPath.empty() ? args.csvPath : args.jsonPath;
+    if (base.empty()) {
+        return "";
+    }
+    for (const char* ext : {".csv", ".jsonl", ".json"}) {
+        std::string e = ext;
+        if (base.size() > e.size() &&
+            base.compare(base.size() - e.size(), e.size(), e) == 0) {
+            base.erase(base.size() - e.size());
+            break;
+        }
+    }
+    return base + ".manifest.jsonl";
+}
+
+/**
+ * Test hook: UDP_BENCH_FAULT="kind[:index[:cycle]]" injects the named
+ * fault (sim/faultinject.h) into one job of the batch — job @c index
+ * (default 0) at trigger cycle @c cycle (default 10000). Lets CI and the
+ * docs demonstrate crash containment on a real bench without patching it.
+ */
+inline void
+applyEnvFault(std::vector<SweepJob>* jobs)
+{
+    const char* spec = std::getenv("UDP_BENCH_FAULT");
+    if (spec == nullptr || *spec == '\0' || jobs->empty()) {
+        return;
+    }
+    std::string kind = spec;
+    std::size_t index = 0;
+    Cycle cycle = 10'000;
+    std::size_t colon = kind.find(':');
+    if (colon != std::string::npos) {
+        std::string rest = kind.substr(colon + 1);
+        kind.erase(colon);
+        std::size_t colon2 = rest.find(':');
+        if (colon2 != std::string::npos) {
+            cycle = std::strtoull(rest.c_str() + colon2 + 1, nullptr, 10);
+            rest.erase(colon2);
+        }
+        index = std::strtoull(rest.c_str(), nullptr, 10);
+    }
+    FaultKind fk = FaultKind::None;
+    if (!faultKindFromName(kind, &fk)) {
+        std::fprintf(stderr, "[bench] UDP_BENCH_FAULT: unknown kind \"%s\"\n",
+                     kind.c_str());
+        return;
+    }
+    if (index >= jobs->size()) {
+        index = jobs->size() - 1;
+    }
+    SweepJob& job = (*jobs)[index];
+    job.config.fault.kind = fk;
+    job.config.fault.triggerCycle = cycle;
+    std::fprintf(stderr,
+                 "[bench] UDP_BENCH_FAULT: injecting %s into job %zu "
+                 "(\"%s\") at cycle %llu\n",
+                 faultKindName(fk), index, job.label.c_str(),
+                 static_cast<unsigned long long>(cycle));
+}
+
+/**
  * Fault-tolerant sweep used by every bench: a crashing or hanging point
  * never aborts the figure. Failed points get diagnostic dumps under
  * kFailureDumpDir and surface through writeArtifactsChecked()'s exit
- * code and failure rows.
+ * code and failure rows. With @p args, the shared execution-mode flags
+ * apply: --isolate forks each point (default 4096 MB RLIMIT_AS),
+ * --resume replays completed points from the checkpoint manifest, and
+ * SIGINT/SIGTERM drain in-flight points before exiting.
  */
+inline std::vector<JobResult>
+runBenchSweep(std::vector<SweepJob> jobs, const SinkArgs& args)
+{
+    applyEnvFault(&jobs);
+    SweepOptions o;
+    o.dumpDir = kFailureDumpDir;
+    o.isolate = args.isolate;
+    if (args.isolate) {
+        o.memLimitBytes =
+            (args.memLimitMb == 0 ? 4096 : args.memLimitMb) << 20;
+        o.cpuLimitSec = args.cpuLimitSec;
+        o.wallLimitSec = args.wallLimitSec;
+    }
+    o.manifestPath = defaultManifestPath(args);
+    o.resume = args.resume && !o.manifestPath.empty();
+    if (args.resume && o.manifestPath.empty()) {
+        std::fprintf(stderr, "[bench] --resume ignored: no manifest path "
+                             "(need --csv, --json or --manifest)\n");
+    }
+    o.handleSignals = true;
+    return runSweepChecked(jobs, o);
+}
+
+/** Legacy entry point: default execution mode, no artifacts. */
 inline std::vector<JobResult>
 runBenchSweep(const std::vector<SweepJob>& jobs)
 {
-    SweepOptions o;
-    o.dumpDir = kFailureDumpDir;
-    return runSweepChecked(jobs, o);
+    return runBenchSweep(jobs, SinkArgs{});
 }
 
 /** Converts a failed job to its machine-readable sink failure row. */
@@ -81,6 +238,11 @@ failureRowOf(const SweepJob& job, const JobResult& jr)
     f.dumpPath = jr.error.dumpPath;
     f.cycle = jr.error.cycle;
     f.attempts = jr.attempts;
+    f.signal = jr.error.signal;
+    f.stderrTail = jr.error.stderrTail;
+    f.maxRssKb = jr.error.maxRssKb;
+    f.userSec = jr.error.userSec;
+    f.sysSec = jr.error.sysSec;
     return f;
 }
 
@@ -115,7 +277,8 @@ reportsOf(const std::vector<SweepJob>& jobs,
 inline std::vector<std::pair<unsigned, Report>>
 findOptimalFtqBatch(const std::vector<Profile>& profiles,
                     const RunOptions& opts,
-                    std::vector<FailureRow>* failures = nullptr)
+                    std::vector<FailureRow>* failures = nullptr,
+                    const SinkArgs& args = SinkArgs{})
 {
     std::vector<SweepJob> jobs;
     jobs.reserve(profiles.size() * optSearchDepths().size());
@@ -125,7 +288,7 @@ findOptimalFtqBatch(const std::vector<Profile>& profiles,
                             "ftq" + std::to_string(d)});
         }
     }
-    std::vector<JobResult> results = runBenchSweep(jobs);
+    std::vector<JobResult> results = runBenchSweep(jobs, args);
 
     std::vector<std::pair<unsigned, Report>> best;
     best.reserve(profiles.size());
@@ -137,7 +300,8 @@ findOptimalFtqBatch(const std::vector<Profile>& profiles,
         for (unsigned d : optSearchDepths()) {
             const JobResult& jr = results[i];
             if (!jr.ok) {
-                if (failures != nullptr) {
+                // Skipped points (graceful shutdown) are not failures.
+                if (failures != nullptr && !jr.skipped) {
                     failures->push_back(failureRowOf(jobs[i], jr));
                 }
                 ++i;
@@ -175,35 +339,6 @@ banner(const char* figure, const char* what)
                 static_cast<unsigned long long>(o.warmupInstrs),
                 static_cast<unsigned long long>(o.measureInstrs));
     std::printf("==============================================================\n");
-}
-
-/** Artifact destinations parsed from `--json PATH` / `--csv PATH`. */
-struct SinkArgs
-{
-    std::string jsonPath;
-    std::string csvPath;
-};
-
-/**
- * Extracts `--json PATH` and `--csv PATH` from argv; other arguments are
- * left for the binary's own positional parsing via @p positional.
- */
-inline SinkArgs
-parseSinkArgs(int argc, char** argv,
-              std::vector<std::string>* positional = nullptr)
-{
-    SinkArgs s;
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        if (a == "--json" && i + 1 < argc) {
-            s.jsonPath = argv[++i];
-        } else if (a == "--csv" && i + 1 < argc) {
-            s.csvPath = argv[++i];
-        } else if (positional != nullptr) {
-            positional->push_back(std::move(a));
-        }
-    }
-    return s;
 }
 
 /** Writes @p reports to the sinks requested in @p args (no-op if none). */
@@ -259,7 +394,10 @@ finishArtifacts(const SinkArgs& args, const std::vector<Report>& reports,
 
 /**
  * Sink + exit-code tail for benches built on runBenchSweep(): writes each
- * successful job's Report and each failure's row, in job order.
+ * successful job's Report and each failure's row, in job order. Jobs
+ * skipped by a graceful shutdown produce neither — the sweep is
+ * incomplete, the exit code is 130, and re-running with --resume picks
+ * up exactly where it stopped.
  */
 inline int
 writeArtifactsChecked(const SinkArgs& args, const std::vector<SweepJob>& jobs,
@@ -267,15 +405,26 @@ writeArtifactsChecked(const SinkArgs& args, const std::vector<SweepJob>& jobs,
 {
     std::vector<Report> ok;
     std::vector<FailureRow> failures;
+    std::size_t skipped = 0;
     ok.reserve(results.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (results[i].ok) {
             ok.push_back(results[i].report);
+        } else if (results[i].skipped) {
+            ++skipped;
         } else {
             failures.push_back(failureRowOf(jobs[i], results[i]));
         }
     }
-    return finishArtifacts(args, ok, failures);
+    int rc = finishArtifacts(args, ok, failures);
+    if (skipped != 0) {
+        std::fprintf(stderr,
+                     "[bench] interrupted: %zu point(s) skipped; re-run "
+                     "with --resume to finish the sweep\n",
+                     skipped);
+        return 130;
+    }
+    return rc;
 }
 
 } // namespace udp::bench

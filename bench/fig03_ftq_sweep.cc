@@ -34,7 +34,7 @@ main(int argc, char** argv)
                             "ftq" + std::to_string(d)});
         }
     }
-    std::vector<JobResult> results = runBenchSweep(jobs);
+    std::vector<JobResult> results = runBenchSweep(jobs, sinks);
     std::vector<Report> reports = reportsOf(jobs, results);
 
     Table t(header);

@@ -29,7 +29,7 @@ main(int argc, char** argv)
         jobs.push_back({p, presets::bigIcache40k(), o, "ic40k"});
         jobs.push_back({p, presets::eip8k(), o, "eip"});
     }
-    std::vector<JobResult> results = runBenchSweep(jobs);
+    std::vector<JobResult> results = runBenchSweep(jobs, sinks);
     std::vector<Report> reports = reportsOf(jobs, results);
 
     Table t({"app", "udp_8k", "infinite", "icache_40k", "eip_8k"});

@@ -25,7 +25,7 @@ main(int argc, char** argv)
     // skipped in the argmax and recorded as failure rows.
     std::vector<FailureRow> failures;
     std::vector<std::pair<unsigned, Report>> optima =
-        findOptimalFtqBatch(datacenterProfiles(), o, &failures);
+        findOptimalFtqBatch(datacenterProfiles(), o, &failures, sinks);
 
     Table t({"app", "optimal_ftq", "utility", "timeliness", "ipc"});
     std::vector<double> depths;

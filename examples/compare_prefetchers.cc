@@ -4,13 +4,18 @@
  *
  * Usage: example_compare_prefetchers [app] [measure_instrs]
  *                                    [--json out.jsonl] [--csv out.csv]
+ *                                    [--isolate] [--wall-sec X] [--resume]
  *   app defaults to "clang"; any of the ten datacenter profiles works.
  *
  * Demonstrates the preset configurations (no prefetch, FDIP, UDP, UFTQ,
- * EIP, perfect icache), the parallel sweep runner (UDP_JOBS workers) and
- * the Report metrics + artifact sinks of the public API.
+ * EIP, perfect icache), the parallel sweep runner (UDP_JOBS workers), the
+ * Report metrics + artifact sinks, and the robustness surface of the
+ * public API: --isolate forks each configuration into its own resource-
+ * limited child so a crash is contained to one row, and --resume replays
+ * completed rows from the checkpoint manifest after an interruption.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -26,10 +31,15 @@ main(int argc, char** argv)
 {
     using namespace udp;
 
-    // Positional args plus optional --json/--csv artifact destinations.
+    // Positional args plus optional --json/--csv artifact destinations
+    // and the robustness flags.
     std::string app = "clang";
     std::string json_path;
     std::string csv_path;
+    std::string manifest_path;
+    bool isolate = false;
+    bool resume = false;
+    double wall_sec = 0.0;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -37,6 +47,14 @@ main(int argc, char** argv)
             json_path = argv[++i];
         } else if (a == "--csv" && i + 1 < argc) {
             csv_path = argv[++i];
+        } else if (a == "--manifest" && i + 1 < argc) {
+            manifest_path = argv[++i];
+        } else if (a == "--isolate") {
+            isolate = true;
+        } else if (a == "--resume") {
+            resume = true;
+        } else if (a == "--wall-sec" && i + 1 < argc) {
+            wall_sec = std::strtod(argv[++i], nullptr);
         } else {
             positional.push_back(std::move(a));
         }
@@ -77,12 +95,24 @@ main(int argc, char** argv)
     for (const Entry& e : configs) {
         jobs.push_back({prof, e.cfg, opts, e.name});
     }
-    std::vector<JobResult> results = runSweepChecked(jobs);
+    SweepOptions sweep_opts;
+    sweep_opts.isolate = isolate;
+    if (isolate) {
+        sweep_opts.memLimitBytes = std::uint64_t{4096} << 20;
+        sweep_opts.wallLimitSec = wall_sec;
+    }
+    sweep_opts.manifestPath = manifest_path;
+    sweep_opts.resume = resume && !manifest_path.empty();
+    sweep_opts.handleSignals = true;
+    std::vector<JobResult> results = runSweepChecked(jobs, sweep_opts);
     std::vector<Report> reports;
     std::vector<FailureRow> failures;
+    std::size_t skipped = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (results[i].ok) {
             reports.push_back(results[i].report);
+        } else if (results[i].skipped) {
+            ++skipped;
         } else {
             FailureRow f;
             f.workload = prof.name;
@@ -92,6 +122,11 @@ main(int argc, char** argv)
             f.message = results[i].error.message;
             f.cycle = results[i].error.cycle;
             f.attempts = results[i].attempts;
+            f.signal = results[i].error.signal;
+            f.stderrTail = results[i].error.stderrTail;
+            f.maxRssKb = results[i].error.maxRssKb;
+            f.userSec = results[i].error.userSec;
+            f.sysSec = results[i].error.sysSec;
             failures.push_back(std::move(f));
         }
     }
@@ -127,6 +162,13 @@ main(int argc, char** argv)
     sink.writeAll(reports);
     for (const FailureRow& f : failures) {
         sink.writeFailure(f);
+    }
+    if (skipped != 0) {
+        std::fprintf(stderr,
+                     "[example] interrupted: %zu configuration(s) skipped; "
+                     "re-run with --resume\n",
+                     skipped);
+        return 130;
     }
     if (!failures.empty()) {
         std::fprintf(stderr, "[example] %zu configuration(s) failed\n",

@@ -1,5 +1,9 @@
 #include "sim/faultinject.h"
 
+#include <csignal>
+#include <cstdio>
+#include <vector>
+
 #include "backend/backend.h"
 #include "cache/memsys.h"
 #include "frontend/ftq.h"
@@ -120,6 +124,44 @@ applyFault(Cpu& cpu, const FaultPlan& plan, Cycle now)
       case FaultKind::FreezeRetire:
         cpu.backend_->setRetireFrozen(true);
         return true;
+
+      case FaultKind::CrashSegv:
+        // TEST-ONLY: a genuine host crash for the process-isolation
+        // harness. The stderr line lets the parent's captured tail prove
+        // the crash originated here.
+        std::fprintf(stderr, "[fault] crash_segv: raising SIGSEGV\n");
+        std::fflush(stderr);
+        std::raise(SIGSEGV);
+        return true;
+
+      case FaultKind::OomAlloc: {
+        // TEST-ONLY: unbounded, touched allocation. Under RLIMIT_AS this
+        // throws std::bad_alloc (the vector frees what it hogged during
+        // unwinding, so the isolated child can still report the error);
+        // without a limit the kernel eventually SIGKILLs the process.
+        std::fprintf(stderr, "[fault] oom_alloc: allocating unboundedly\n");
+        std::fflush(stderr);
+        std::vector<std::vector<char>> hog;
+        for (;;) {
+            hog.emplace_back(std::size_t{16} << 20, char{1});
+        }
+      }
+    }
+    return false;
+}
+
+bool
+faultKindFromName(const std::string& name, FaultKind* out)
+{
+    for (FaultKind k :
+         {FaultKind::None, FaultKind::DropFill, FaultKind::DelayFill,
+          FaultKind::LeakMshr, FaultKind::DuplicateMshr,
+          FaultKind::CorruptFtqEntry, FaultKind::FreezeRetire,
+          FaultKind::CrashSegv, FaultKind::OomAlloc}) {
+        if (name == faultKindName(k)) {
+            *out = k;
+            return true;
+        }
     }
     return false;
 }

@@ -11,6 +11,7 @@
 #define UDP_SIM_FAULTINJECT_H
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.h"
 
@@ -38,6 +39,14 @@ enum class FaultKind : std::uint8_t {
     CorruptFtqEntry,
     /** Halt retirement permanently (retire-stall watchdog). */
     FreezeRetire,
+    /** TEST-ONLY: raise a genuine SIGSEGV in the host process. Only
+     *  meaningful under process isolation (sim/procexec.h) — in-process
+     *  it kills the caller. Proves crash containment end to end. */
+    CrashSegv,
+    /** TEST-ONLY: allocate host memory without bound until the
+     *  allocator fails (std::bad_alloc under RLIMIT_AS) or the kernel
+     *  kills the process. Only meaningful under process isolation. */
+    OomAlloc,
 };
 
 /** Stable snake_case name of @p k (labels, failure rows, tests). */
@@ -52,9 +61,18 @@ faultKindName(FaultKind k)
     case FaultKind::DuplicateMshr: return "duplicate_mshr";
     case FaultKind::CorruptFtqEntry: return "corrupt_ftq_entry";
     case FaultKind::FreezeRetire: return "freeze_retire";
+    case FaultKind::CrashSegv: return "crash_segv";
+    case FaultKind::OomAlloc: return "oom_alloc";
     }
     return "unknown";
 }
+
+/**
+ * Inverse of faultKindName(). Returns false and leaves @p out untouched
+ * for unknown names. Drives the UDP_BENCH_FAULT test hook
+ * (bench/bench_util.h) and the CI crash-containment sweep.
+ */
+bool faultKindFromName(const std::string& name, FaultKind* out);
 
 /** One planned perturbation (value type, lives in SimConfig). */
 struct FaultPlan

@@ -130,6 +130,12 @@ runSim(const Profile& profile, const SimConfig& cfg, const RunOptions& opts,
     return collectReport(cpu, profile.name, std::move(config_name));
 }
 
+void
+prewarmProgram(const Profile& profile)
+{
+    cachedProgram(profile);
+}
+
 bool
 parsePositiveEnv(const char* name, std::uint64_t* out)
 {

@@ -126,6 +126,14 @@ struct RunOptions
 Report runSim(const Profile& profile, const SimConfig& cfg,
               const RunOptions& opts, std::string config_name = "");
 
+/**
+ * Builds (and caches) the Program for @p profile without running anything.
+ * Isolated sweeps (sim/procexec.h) call this in the parent before forking
+ * so every child inherits the built image via copy-on-write instead of
+ * rebuilding it per process.
+ */
+void prewarmProgram(const Profile& profile);
+
 /** Collects a Report from an already-run Cpu measurement window. */
 Report collectReport(const Cpu& cpu, std::string workload,
                      std::string config_name);

@@ -1,15 +1,22 @@
 #include "sim/sweep.h"
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
+#include <unordered_set>
 
+#include "sim/manifest.h"
 #include "sim/pool.h"
+#include "sim/procexec.h"
 #include "sim/simerror.h"
+#include "stats/sink.h"
 
 namespace udp {
 
@@ -64,10 +71,93 @@ writeFailureDump(const std::string& dir, const std::string& label,
     if (!err.dump.empty()) {
         out << err.dump;
     }
+    if (!err.stderrTail.empty()) {
+        out << "--- child stderr tail ---\n" << err.stderrTail;
+        if (err.stderrTail.back() != '\n') {
+            out << '\n';
+        }
+    }
     return path;
 }
 
+// --- graceful shutdown ------------------------------------------------------
+
+volatile std::sig_atomic_t g_stopSignal = 0;
+
+extern "C" void
+sweepStopHandler(int sig)
+{
+    g_stopSignal = sig;
+}
+
+/**
+ * Scoped SIGINT/SIGTERM handler installation. The first signal only sets
+ * the sticky stop flag (queued jobs are then skipped while in-flight jobs
+ * drain); SA_RESETHAND restores the default disposition so a second
+ * signal kills the process outright — the flushed manifest still permits
+ * resumption.
+ */
+class SignalGuard
+{
+  public:
+    explicit SignalGuard(bool enable) : active(enable)
+    {
+        if (!active) {
+            return;
+        }
+        g_stopSignal = 0;
+#ifdef _WIN32
+        std::signal(SIGINT, sweepStopHandler);
+        std::signal(SIGTERM, sweepStopHandler);
+#else
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sa_handler = sweepStopHandler;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = SA_RESETHAND;
+        ::sigaction(SIGINT, &sa, &oldInt);
+        ::sigaction(SIGTERM, &sa, &oldTerm);
+#endif
+    }
+
+    ~SignalGuard()
+    {
+        if (!active) {
+            return;
+        }
+#ifdef _WIN32
+        std::signal(SIGINT, SIG_DFL);
+        std::signal(SIGTERM, SIG_DFL);
+#else
+        ::sigaction(SIGINT, &oldInt, nullptr);
+        ::sigaction(SIGTERM, &oldTerm, nullptr);
+#endif
+    }
+
+    SignalGuard(const SignalGuard&) = delete;
+    SignalGuard& operator=(const SignalGuard&) = delete;
+
+  private:
+    bool active;
+#ifndef _WIN32
+    struct sigaction oldInt {};
+    struct sigaction oldTerm {};
+#endif
+};
+
 } // namespace
+
+bool
+sweepStopRequested()
+{
+    return g_stopSignal != 0;
+}
+
+int
+sweepStopSignal()
+{
+    return static_cast<int>(g_stopSignal);
+}
 
 unsigned
 SweepRunner::defaultJobs()
@@ -94,15 +184,136 @@ SweepRunner::runChecked(const std::vector<SweepJob>& jobs) const
         return results;
     }
 
+    const bool isolate = opts.isolate && procIsolationSupported();
+    if (opts.isolate && !isolate && !opts.quiet) {
+        std::fprintf(stderr, "[sweep] process isolation unsupported here; "
+                             "running in-process\n");
+    }
+
+    // Checkpoint manifest: hash every job up front; on resume, satisfy
+    // already-completed jobs by replaying their recorded Reports.
+    SweepManifest manifest;
+    std::vector<std::uint64_t> hashes;
+    std::size_t resumedCount = 0;
+    if (!opts.manifestPath.empty()) {
+        hashes.resize(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            hashes[i] = sweepJobHash(jobs[i], i);
+        }
+        if (manifest.open(opts.manifestPath, opts.resume) && opts.resume) {
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+                const ManifestEntry* e = manifest.findCompleted(hashes[i]);
+                if (e == nullptr) {
+                    continue;
+                }
+                Report r;
+                if (!reportFromJsonLine(e->reportJson, &r)) {
+                    continue; // unreadable record: just re-run the job
+                }
+                results[i].report = std::move(r);
+                results[i].ok = true;
+                results[i].resumed = true;
+                results[i].attempts = 0;
+                ++resumedCount;
+            }
+            if (!opts.quiet && resumedCount != 0) {
+                std::fprintf(stderr,
+                             "[sweep] resumed %zu/%zu completed job(s) "
+                             "from \"%s\"\n",
+                             resumedCount, jobs.size(),
+                             opts.manifestPath.c_str());
+            }
+        }
+    }
+
+    // Isolation shares the parent's Program cache with every child via
+    // copy-on-write: build each distinct workload once before forking.
+    if (isolate) {
+        std::unordered_set<std::string> warmed;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (results[i].resumed) {
+                continue;
+            }
+            const Profile& p = jobs[i].profile;
+            std::string key = p.name + "#" + std::to_string(p.seed) + "#" +
+                              std::to_string(p.codeFootprintKB);
+            if (warmed.insert(std::move(key)).second) {
+                prewarmProgram(p);
+            }
+        }
+    }
+
+    SignalGuard guard(opts.handleSignals);
+
     // Progress state shared by the workers.
     std::mutex mtx;
-    std::size_t done = 0;
+    std::size_t done = resumedCount;
     std::size_t failed = 0;
+    std::size_t skippedCount = 0;
+    bool stopAnnounced = false;
     const Clock::time_point start = Clock::now();
     const unsigned max_attempts = opts.maxAttempts == 0 ? 1 : opts.maxAttempts;
 
+    auto postProgress = [&](std::size_t jobIndex, const JobResult& jr) {
+        // Caller holds mtx.
+        if (!jr.ok && !jr.skipped && !opts.quiet) {
+            std::fprintf(stderr,
+                         "[sweep] job %zu \"%s\" failed after %u "
+                         "attempt(s): %s\n",
+                         jobIndex, jobs[jobIndex].label.c_str(), jr.attempts,
+                         jr.error.message.c_str());
+        }
+        SweepProgress p;
+        p.done = done;
+        p.total = jobs.size();
+        p.failed = failed;
+        p.resumed = resumedCount;
+        p.skipped = skippedCount;
+        p.elapsedSec = secondsSince(start);
+        p.etaSec = p.done == 0
+                       ? 0.0
+                       : p.elapsedSec / static_cast<double>(p.done) *
+                             static_cast<double>(p.total - p.done);
+        if (opts.onProgress) {
+            opts.onProgress(p);
+        } else if (!opts.quiet) {
+            std::fprintf(stderr,
+                         "[sweep] %zu/%zu jobs done (%zu failed), %.1fs "
+                         "elapsed, eta %.1fs\n",
+                         p.done, p.total, p.failed, p.elapsedSec, p.etaSec);
+        }
+    };
+
     auto runOne = [&](std::size_t i) {
         JobResult& jr = results[i];
+        if (jr.resumed) {
+            return;
+        }
+
+        // Graceful shutdown: a queued job observed after the stop signal
+        // never starts. It gets neither a Report nor a failure row, and
+        // is not recorded in the manifest, so --resume re-runs it.
+        if (opts.handleSignals && sweepStopRequested()) {
+            jr.skipped = true;
+            jr.ok = false;
+            jr.attempts = 0;
+            jr.error = JobError{};
+            jr.error.kind = "skipped";
+            jr.error.message = "graceful shutdown requested before start";
+            std::lock_guard<std::mutex> lock(mtx);
+            if (!stopAnnounced && !opts.quiet) {
+                std::fprintf(stderr,
+                             "[sweep] stop signal %d received: draining "
+                             "in-flight jobs, skipping the rest\n",
+                             sweepStopSignal());
+            }
+            stopAnnounced = true;
+            ++done;
+            ++skippedCount;
+            postProgress(i, jr);
+            return;
+        }
+
         SweepJob job = jobs[i]; // per-worker copy: the budget is per batch
         if (opts.jobCycleBudget != 0 && job.config.watchdog.maxCycles == 0) {
             job.config.watchdog.maxCycles = opts.jobCycleBudget;
@@ -111,6 +322,17 @@ SweepRunner::runChecked(const std::vector<SweepJob>& jobs) const
         for (unsigned attempt = 1; attempt <= max_attempts && !jr.ok;
              ++attempt) {
             jr.attempts = attempt;
+            if (isolate) {
+                ProcLimits limits;
+                limits.memLimitBytes = opts.memLimitBytes;
+                limits.cpuLimitSec = opts.cpuLimitSec;
+                limits.wallLimitSec = opts.wallLimitSec;
+                JobResult sub = runJobIsolated(job, limits);
+                jr.ok = sub.ok;
+                jr.report = std::move(sub.report);
+                jr.error = std::move(sub.error);
+                continue;
+            }
             try {
                 jr.report =
                     runSim(job.profile, job.config, job.opts, job.label);
@@ -147,31 +369,22 @@ SweepRunner::runChecked(const std::vector<SweepJob>& jobs) const
         ++done;
         if (!jr.ok) {
             ++failed;
-            if (!opts.quiet) {
-                std::fprintf(stderr,
-                             "[sweep] job %zu \"%s\" failed after %u "
-                             "attempt(s): %s\n",
-                             i, job.label.c_str(), jr.attempts,
-                             jr.error.message.c_str());
+        }
+        if (manifest.isOpen()) {
+            ManifestEntry e;
+            e.hash = hashes[i];
+            e.index = i;
+            e.workload = job.profile.name;
+            e.label = job.label;
+            e.ok = jr.ok;
+            if (jr.ok) {
+                e.reportJson = reportToJsonLine(jr.report);
+            } else {
+                e.errorKind = jr.error.kind;
             }
+            manifest.record(e);
         }
-        SweepProgress p;
-        p.done = done;
-        p.total = jobs.size();
-        p.failed = failed;
-        p.elapsedSec = secondsSince(start);
-        p.etaSec = p.done == 0
-                       ? 0.0
-                       : p.elapsedSec / static_cast<double>(p.done) *
-                             static_cast<double>(p.total - p.done);
-        if (opts.onProgress) {
-            opts.onProgress(p);
-        } else if (!opts.quiet) {
-            std::fprintf(stderr,
-                         "[sweep] %zu/%zu jobs done (%zu failed), %.1fs "
-                         "elapsed, eta %.1fs\n",
-                         p.done, p.total, p.failed, p.elapsedSec, p.etaSec);
-        }
+        postProgress(i, jr);
     };
 
     if (threads <= 1) {
@@ -182,11 +395,15 @@ SweepRunner::runChecked(const std::vector<SweepJob>& jobs) const
     } else {
         ThreadPool pool(threads);
         for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (results[i].resumed) {
+                continue;
+            }
             pool.submit([&, i] { runOne(i); });
         }
         pool.wait();
     }
 
+    manifest.close();
     return results;
 }
 
@@ -197,7 +414,12 @@ SweepRunner::run(const std::vector<SweepJob>& jobs) const
     // All-or-nothing contract: surface the first failure by job index.
     for (const JobResult& jr : checked) {
         if (!jr.ok) {
-            std::rethrow_exception(jr.exception);
+            if (jr.exception) {
+                std::rethrow_exception(jr.exception);
+            }
+            // Isolated/skipped failures have no in-process exception.
+            throw std::runtime_error("[" + jr.error.kind + "] " +
+                                     jr.error.message);
         }
     }
     std::vector<Report> results;

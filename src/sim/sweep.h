@@ -38,8 +38,10 @@ struct SweepJob
 /** Structured description of one failed job (docs/ROBUSTNESS.md). */
 struct JobError
 {
-    /** SimError kind name ("retire_stall", "cycle_budget", "invariant")
-     *  or "exception" for anything else that escaped runSim(). */
+    /** SimError kind name ("retire_stall", "cycle_budget", "invariant"),
+     *  "exception" for anything else that escaped runSim(), or one of
+     *  the process-isolation kinds ("crash", "timeout", "cpu_limit",
+     *  "oom_kill", "mem_limit", "exit", "protocol" — sim/procexec.h). */
     std::string kind;
     /** Failing component for SimErrors ("backend", "mshr", ...), else "". */
     std::string component;
@@ -51,6 +53,17 @@ struct JobError
     std::string dumpPath;
     /** Simulated cycle of the failure (SimError only). */
     Cycle cycle = 0;
+
+    // Process-isolation diagnostics (SweepOptions::isolate only).
+    /** Terminating signal name ("SIGSEGV", "SIGKILL", ...), else "". */
+    std::string signal;
+    /** Captured tail of the child's stderr (bounded). */
+    std::string stderrTail;
+    /** Child peak resident set (ru_maxrss, KiB). */
+    std::uint64_t maxRssKb = 0;
+    /** Child user/system CPU seconds (rusage). */
+    double userSec = 0.0;
+    double sysSec = 0.0;
 };
 
 /** Outcome of one sweep job: a Report, or a structured error. */
@@ -58,11 +71,20 @@ struct JobResult
 {
     Report report; ///< valid only when ok
     bool ok = false;
-    /** Attempts consumed (1..SweepOptions::maxAttempts). */
+    /** Attempts consumed (1..SweepOptions::maxAttempts); 0 when the job
+     *  was resumed from the manifest or skipped. */
     unsigned attempts = 0;
     JobError error; ///< valid only when !ok
-    /** Original exception of the final attempt (rethrowable), !ok only. */
+    /** Original exception of the final attempt (rethrowable). Only set
+     *  for in-process failures — an isolated child's exception cannot
+     *  cross the process boundary, so it arrives as `error` only. */
     std::exception_ptr exception;
+    /** Satisfied from the checkpoint manifest without running (ok). */
+    bool resumed = false;
+    /** Never ran: graceful shutdown was requested before it started.
+     *  Neither a Report nor a failure — callers should not emit a
+     *  failure row for skipped jobs. */
+    bool skipped = false;
 };
 
 /** Progress snapshot passed to the progress callback after each job. */
@@ -74,6 +96,10 @@ struct SweepProgress
     std::size_t total = 0;
     /** Jobs that exhausted their attempts without a Report. */
     std::size_t failed = 0;
+    /** Jobs satisfied from the checkpoint manifest (count toward done). */
+    std::size_t resumed = 0;
+    /** Jobs skipped by a graceful shutdown (count toward done). */
+    std::size_t skipped = 0;
     double elapsedSec = 0.0;
     /** Remaining-time estimate from the mean per-job rate so far. */
     double etaSec = 0.0;
@@ -101,7 +127,45 @@ struct SweepOptions
     /** Directory for per-failure diagnostic dump files (created on
      *  demand). Empty = keep dumps in memory only (JobResult::error). */
     std::string dumpDir;
+
+    // --- process isolation (docs/ROBUSTNESS.md, "Isolated execution") ---
+    /** Run every job in a forked child process (sim/procexec.h): a
+     *  SIGSEGV, OOM kill, or runaway job is contained to that child and
+     *  converted into a structured JobError instead of taking the sweep
+     *  down. Clean-run Reports are bit-identical to in-process mode. */
+    bool isolate = false;
+    /** Per-child address-space cap (RLIMIT_AS), isolate only. 0 = none.
+     *  Ignored under ASan/TSan (sanitizers reserve huge mappings). */
+    std::uint64_t memLimitBytes = 0;
+    /** Per-child CPU-seconds cap (RLIMIT_CPU), isolate only. 0 = none. */
+    std::uint64_t cpuLimitSec = 0;
+    /** Parent-enforced wall-clock deadline per child in seconds, isolate
+     *  only; expiry SIGKILLs the child (error kind "timeout"). 0 = none. */
+    double wallLimitSec = 0.0;
+
+    // --- checkpoint/resume (docs/ROBUSTNESS.md, "Sweep manifest") ------
+    /** JSONL manifest path (sim/manifest.h): every finished job is
+     *  appended line-atomically as it completes, so an interrupted sweep
+     *  can be resumed. Empty = no manifest. */
+    std::string manifestPath;
+    /** Load the manifest before running and skip jobs it already records
+     *  as completed, replaying their Reports verbatim; failed jobs are
+     *  re-run. Requires manifestPath. */
+    bool resume = false;
+    /** Install SIGINT/SIGTERM handlers for the duration of the batch:
+     *  the first signal requests graceful shutdown (in-flight jobs drain
+     *  and are recorded, queued jobs are marked skipped); a second
+     *  signal falls back to the default disposition and kills the
+     *  process (the flushed manifest still allows --resume). */
+    bool handleSignals = false;
 };
+
+/** True once a graceful-shutdown signal was observed by the handlers
+ *  installed via SweepOptions::handleSignals (sticky per batch). */
+bool sweepStopRequested();
+
+/** The signal number that requested the stop, or 0. */
+int sweepStopSignal();
 
 /**
  * Executes batches of SweepJobs on a fixed-size thread pool.

@@ -10,6 +10,20 @@ namespace udp {
 
 namespace {
 
+/**
+ * Crash-safe row append: the complete line (terminator included) goes to
+ * the stream in one buffered write and is flushed before returning, so a
+ * killed process can lose at most a partial *final* line — every earlier
+ * line is intact and parseable (docs/ROBUSTNESS.md).
+ */
+void
+writeLineAtomic(std::ofstream& out, std::string line)
+{
+    line += '\n';
+    out.write(line.data(), static_cast<std::streamsize>(line.size()));
+    out.flush();
+}
+
 /** Shortest round-trip decimal rendering of @p v ("400000", "0.85"). */
 std::string
 formatNumber(double v)
@@ -27,7 +41,8 @@ formatNumber(double v)
     return std::string(buf, res.ptr);
 }
 
-/** JSON string escaping (quotes, backslash, control characters). */
+} // namespace
+
 std::string
 jsonEscape(const std::string& s)
 {
@@ -52,6 +67,57 @@ jsonEscape(const std::string& s)
     }
     return out;
 }
+
+bool
+jsonUnescape(const std::string& s, std::string* out)
+{
+    out->clear();
+    out->reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (c != '\\') {
+            *out += c;
+            continue;
+        }
+        if (++i >= s.size()) {
+            return false;
+        }
+        switch (s[i]) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+            if (i + 4 >= s.size()) {
+                return false;
+            }
+            unsigned v = 0;
+            for (int k = 0; k < 4; ++k) {
+                char h = s[++i];
+                v <<= 4;
+                if (h >= '0' && h <= '9') {
+                    v |= static_cast<unsigned>(h - '0');
+                } else if (h >= 'a' && h <= 'f') {
+                    v |= static_cast<unsigned>(h - 'a' + 10);
+                } else if (h >= 'A' && h <= 'F') {
+                    v |= static_cast<unsigned>(h - 'A' + 10);
+                } else {
+                    return false;
+                }
+            }
+            // jsonEscape only emits \u00xx for control bytes.
+            *out += static_cast<char>(v & 0xFF);
+            break;
+        }
+        default: return false;
+        }
+    }
+    return true;
+}
+
+namespace {
 
 /** CSV field escaping per RFC 4180 (quote when needed). */
 std::string
@@ -126,11 +192,145 @@ reportToCsvRow(const Report& r)
     return out;
 }
 
+namespace {
+
+/** Assigns one parsed numeric stat to its Report field; the key table
+ *  mirrors Report::toStatSet() (tested by Sink.ReportJsonRoundTrip). */
+bool
+setReportStat(Report* r, const std::string& key, double v)
+{
+    auto u64 = [v] { return static_cast<std::uint64_t>(v); };
+    if (key == "instructions") {
+        r->instructions = u64();
+    } else if (key == "cycles") {
+        r->cycles = u64();
+    } else if (key == "ipc") {
+        r->ipc = v;
+    } else if (key == "icache_mpki") {
+        r->icacheMpki = v;
+    } else if (key == "mshr_hits_pki") {
+        r->mshrHitsPki = v;
+    } else if (key == "timeliness") {
+        r->timeliness = v;
+    } else if (key == "l1_hit_ratio") {
+        r->l1HitRatio = v;
+    } else if (key == "lost_instr_per_kilo") {
+        r->lostInstrPerKilo = v;
+    } else if (key == "prefetches_emitted") {
+        r->prefetchesEmitted = u64();
+    } else if (key == "onpath_ratio") {
+        r->onPathRatio = v;
+    } else if (key == "usefulness") {
+        r->usefulness = v;
+    } else if (key == "usefulness_hw") {
+        r->usefulnessHw = v;
+    } else if (key == "avg_ftq_occupancy") {
+        r->avgFtqOccupancy = v;
+    } else if (key == "branch_mpki") {
+        r->branchMpki = v;
+    } else if (key == "cond_mispredict_rate") {
+        r->condMispredictRate = v;
+    } else if (key == "resteers") {
+        r->resteers = u64();
+    } else if (key == "decode_corrections") {
+        r->decodeCorrections = u64();
+    } else if (key == "udp_dropped") {
+        r->udpDropped = u64();
+    } else if (key == "udp_filtered_emits") {
+        r->udpFilteredEmits = u64();
+    } else if (key == "udp_learned") {
+        r->udpLearned = u64();
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Scans a quoted JSON string starting at s[pos] == '"'; leaves pos one
+ *  past the closing quote and returns the unescaped content. */
+bool
+scanJsonString(const std::string& s, std::size_t* pos, std::string* out)
+{
+    if (*pos >= s.size() || s[*pos] != '"') {
+        return false;
+    }
+    std::size_t start = ++*pos;
+    while (*pos < s.size() && s[*pos] != '"') {
+        if (s[*pos] == '\\') {
+            ++*pos; // skip the escaped character (covers \")
+        }
+        ++*pos;
+    }
+    if (*pos >= s.size()) {
+        return false;
+    }
+    std::string raw = s.substr(start, *pos - start);
+    ++*pos; // closing quote
+    return jsonUnescape(raw, out);
+}
+
+} // namespace
+
+bool
+reportFromJsonLine(const std::string& line, Report* out)
+{
+    Report r;
+    std::size_t pos = 0;
+    if (pos >= line.size() || line[pos] != '{') {
+        return false;
+    }
+    ++pos;
+    bool first = true;
+    while (pos < line.size() && line[pos] != '}') {
+        if (!first && line[pos] == ',') {
+            ++pos;
+        }
+        first = false;
+        std::string key;
+        if (!scanJsonString(line, &pos, &key)) {
+            return false;
+        }
+        if (pos >= line.size() || line[pos] != ':') {
+            return false;
+        }
+        ++pos;
+        if (key == "workload" || key == "config") {
+            std::string val;
+            if (!scanJsonString(line, &pos, &val)) {
+                return false;
+            }
+            (key == "workload" ? r.workload : r.configName) = val;
+            continue;
+        }
+        std::size_t end = pos;
+        while (end < line.size() && line[end] != ',' && line[end] != '}') {
+            ++end;
+        }
+        double v = 0.0;
+        std::from_chars_result res =
+            std::from_chars(line.data() + pos, line.data() + end, v);
+        if (res.ec != std::errc{} || res.ptr != line.data() + end) {
+            return false;
+        }
+        if (!setReportStat(&r, key, v)) {
+            return false; // unknown key, or a failure row ("error_kind")
+        }
+        pos = end;
+    }
+    if (pos >= line.size() || line[pos] != '}') {
+        return false;
+    }
+    *out = std::move(r);
+    return true;
+}
+
 std::vector<std::string>
 failureSchemaKeys()
 {
-    return {"workload", "config",    "error_kind", "component",
-            "cycle",    "attempts",  "message",    "dump_path"};
+    return {"workload", "config",     "error_kind", "component",
+            "cycle",    "attempts",   "message",    "dump_path",
+            "signal",   "max_rss_kb", "user_sec",   "sys_sec",
+            "stderr_tail"};
 }
 
 std::string
@@ -143,7 +343,13 @@ failureToJsonLine(const FailureRow& f)
                       "\",\"cycle\":" + std::to_string(f.cycle) +
                       ",\"attempts\":" + std::to_string(f.attempts) +
                       ",\"message\":\"" + jsonEscape(f.message) +
-                      "\",\"dump_path\":\"" + jsonEscape(f.dumpPath) + "\"}";
+                      "\",\"dump_path\":\"" + jsonEscape(f.dumpPath) +
+                      "\",\"signal\":\"" + jsonEscape(f.signal) +
+                      "\",\"max_rss_kb\":" + std::to_string(f.maxRssKb) +
+                      ",\"user_sec\":" + formatNumber(f.userSec) +
+                      ",\"sys_sec\":" + formatNumber(f.sysSec) +
+                      ",\"stderr_tail\":\"" + jsonEscape(f.stderrTail) +
+                      "\"}";
     return out;
 }
 
@@ -163,10 +369,27 @@ failureCsvHeader()
 std::string
 failureToCsvRow(const FailureRow& f)
 {
+    // Flatten the stderr tail: quoted embedded newlines are legal CSV,
+    // but one physical line per row is what makes the artifact
+    // crash-safe for line-oriented readers (grep, wc, tail -f).
+    std::string tail;
+    tail.reserve(f.stderrTail.size());
+    for (char c : f.stderrTail) {
+        if (c == '\n') {
+            tail += "\\n";
+        } else if (c == '\r') {
+            tail += "\\r";
+        } else {
+            tail += c;
+        }
+    }
     return csvEscape(f.workload) + ',' + csvEscape(f.config) + ',' +
            csvEscape(f.errorKind) + ',' + csvEscape(f.component) + ',' +
            std::to_string(f.cycle) + ',' + std::to_string(f.attempts) +
-           ',' + csvEscape(f.message) + ',' + csvEscape(f.dumpPath);
+           ',' + csvEscape(f.message) + ',' + csvEscape(f.dumpPath) + ',' +
+           csvEscape(f.signal) + ',' + std::to_string(f.maxRssKb) + ',' +
+           formatNumber(f.userSec) + ',' + formatNumber(f.sysSec) + ',' +
+           csvEscape(tail);
 }
 
 bool
@@ -191,7 +414,7 @@ ReportSink::openCsv(const std::string& path)
         return false;
     }
     csvPath = path;
-    csv << reportCsvHeader() << '\n';
+    writeLineAtomic(csv, reportCsvHeader());
     return true;
 }
 
@@ -199,10 +422,10 @@ void
 ReportSink::write(const Report& r)
 {
     if (json.is_open()) {
-        json << reportToJsonLine(r) << '\n';
+        writeLineAtomic(json, reportToJsonLine(r));
     }
     if (csv.is_open()) {
-        csv << reportToCsvRow(r) << '\n';
+        writeLineAtomic(csv, reportToCsvRow(r));
     }
 }
 
@@ -219,7 +442,7 @@ ReportSink::writeFailure(const FailureRow& f)
 {
     ++failures;
     if (json.is_open()) {
-        json << failureToJsonLine(f) << '\n';
+        writeLineAtomic(json, failureToJsonLine(f));
     }
     if (csv.is_open() && !failureCsv.is_open()) {
         // Lazy sibling file: a clean sweep leaves no failure artifact,
@@ -236,11 +459,11 @@ ReportSink::writeFailure(const FailureRow& f)
             std::fprintf(stderr, "[udp] cannot open failure CSV \"%s\"\n",
                          path.c_str());
         } else {
-            failureCsv << failureCsvHeader() << '\n';
+            writeLineAtomic(failureCsv, failureCsvHeader());
         }
     }
     if (failureCsv.is_open()) {
-        failureCsv << failureToCsvRow(f) << '\n';
+        writeLineAtomic(failureCsv, failureToCsvRow(f));
     }
 }
 

@@ -30,13 +30,29 @@ struct FailureRow
 {
     std::string workload;
     std::string config;    ///< the job label
-    std::string errorKind; ///< simErrorKindName() or "exception"
+    std::string errorKind; ///< simErrorKindName(), a process-isolation kind
+                           ///< ("crash", "timeout", ...) or "exception"
     std::string component; ///< failing component, "" for plain exceptions
     std::string message;   ///< exception what()
     std::string dumpPath;  ///< diagnostic dump file, "" when none written
     std::uint64_t cycle = 0;
     std::uint64_t attempts = 1;
+
+    // Process-isolation diagnostics (--isolate sweeps, sim/procexec.h);
+    // empty/zero for in-process failures.
+    std::string signal;     ///< terminating signal name ("SIGSEGV"), or ""
+    std::string stderrTail; ///< captured tail of the child's stderr
+    std::uint64_t maxRssKb = 0; ///< child peak RSS (ru_maxrss)
+    double userSec = 0.0;       ///< child user CPU seconds
+    double sysSec = 0.0;        ///< child system CPU seconds
 };
+
+/** JSON string escaping (quotes, backslash, control characters). Shared
+ *  with the sweep manifest and the isolated-execution pipe protocol. */
+std::string jsonEscape(const std::string& s);
+
+/** Inverse of jsonEscape(); returns false on a malformed escape. */
+bool jsonUnescape(const std::string& s, std::string* out);
 
 /** Ordered list of failure-row schema keys. */
 std::vector<std::string> failureSchemaKeys();
@@ -65,9 +81,25 @@ std::string reportCsvHeader();
 std::string reportToCsvRow(const Report& r);
 
 /**
+ * Parses one reportToJsonLine() line back into @p out. The round trip is
+ * exact: numbers use shortest round-trip rendering, so re-serializing the
+ * parsed Report reproduces the input byte for byte. Used by the
+ * checkpoint manifest (sim/manifest.h) and the isolated-execution pipe
+ * protocol (sim/procexec.h). Returns false (leaving @p out unspecified)
+ * on malformed input, unknown keys, or a failure row (key "error_kind").
+ */
+bool reportFromJsonLine(const std::string& line, Report* out);
+
+/**
  * Writes Reports to an optional JSON-lines file and/or an optional CSV
  * file (with header). Opening no sink makes write() a no-op, so benches
  * can call it unconditionally.
+ *
+ * Crash-safe: every row is written as one complete line in a single
+ * buffered write and flushed immediately, so a sweep killed mid-run
+ * (SIGKILL, OOM, power loss) leaves artifacts whose complete lines all
+ * parse — at worst the final line is truncated and must be dropped by
+ * the reader (docs/ROBUSTNESS.md, "Crash-safe artifacts").
  */
 class ReportSink
 {

@@ -377,6 +377,11 @@ sampleFailure()
     f.dumpPath = "dumps/udp8k-1.dump.txt";
     f.cycle = 12'345;
     f.attempts = 2;
+    f.signal = "SIGSEGV";
+    f.stderrTail = "[fault] crash_segv: raising SIGSEGV\n";
+    f.maxRssKb = 61'440;
+    f.userSec = 0.25;
+    f.sysSec = 0.125;
     return f;
 }
 
@@ -390,6 +395,12 @@ TEST(Sink, FailureRowSerialization)
     EXPECT_NE(json.find("\"component\":\"backend\""), std::string::npos);
     EXPECT_NE(json.find("\"cycle\":12345"), std::string::npos);
     EXPECT_NE(json.find("\"attempts\":2"), std::string::npos);
+    // Isolation diagnostics ride along in both serializations.
+    EXPECT_NE(json.find("\"signal\":\"SIGSEGV\""), std::string::npos);
+    EXPECT_NE(json.find("\"max_rss_kb\":61440"), std::string::npos);
+    EXPECT_NE(json.find("\"stderr_tail\":\"[fault] crash_segv"),
+              std::string::npos);
+    EXPECT_NE(failureToCsvRow(f).find("SIGSEGV"), std::string::npos);
     // Report lines never carry "error_kind": the discriminator key.
     EXPECT_EQ(reportToJsonLine(Report{}).find("error_kind"),
               std::string::npos);

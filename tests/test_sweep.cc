@@ -228,6 +228,126 @@ TEST(Sink, JsonLineAndCsvRowCarryTheValues)
     EXPECT_EQ(commas(row), commas(reportCsvHeader()));
 }
 
+TEST(Sink, ReportJsonLineRoundTripsExactly)
+{
+    // A real simulation Report: every stat populated with non-trivial
+    // doubles, the hard case for exact round-tripping.
+    Profile p = tinyProfile("roundtrip", 9);
+    Report r = runSim(p, presets::udp8k(), tinyOptions(), "udp8k");
+
+    std::string line = reportToJsonLine(r);
+    Report parsed;
+    ASSERT_TRUE(reportFromJsonLine(line, &parsed));
+    expectIdenticalReports(r, parsed);
+    // Re-serializing reproduces the input byte for byte (shortest
+    // round-trip float rendering) — the invariant the checkpoint
+    // manifest's replay path and the isolation pipe rely on.
+    EXPECT_EQ(reportToJsonLine(parsed), line);
+}
+
+TEST(Sink, ReportParserRejectsMalformedAndForeignLines)
+{
+    Report out;
+    EXPECT_FALSE(reportFromJsonLine("", &out));
+    EXPECT_FALSE(reportFromJsonLine("not json", &out));
+    EXPECT_FALSE(reportFromJsonLine("{\"workload\":\"a\"", &out));
+    // Failure rows share the stream but must not parse as Reports.
+    FailureRow f;
+    f.workload = "app";
+    f.config = "cfg";
+    f.errorKind = "crash";
+    EXPECT_FALSE(reportFromJsonLine(failureToJsonLine(f), &out));
+    // Unknown keys are a schema mismatch, not silently dropped data.
+    EXPECT_FALSE(reportFromJsonLine(
+        "{\"workload\":\"a\",\"config\":\"b\",\"bogus\":1}", &out));
+}
+
+TEST(Sink, RowsAreDurableWithoutClose)
+{
+    // Crash-safety: every row is flushed as one complete line the moment
+    // it is written, so a sink whose process dies (SIGKILL — no
+    // destructors) leaves parseable artifacts. Read the files back while
+    // the sink is still open.
+    Report r;
+    r.workload = "app";
+    r.configName = "cfg";
+    r.cycles = 99;
+
+    std::string json_path = ::testing::TempDir() + "durable.jsonl";
+    std::string csv_path = ::testing::TempDir() + "durable.csv";
+    ReportSink sink;
+    ASSERT_TRUE(sink.openJson(json_path));
+    ASSERT_TRUE(sink.openCsv(csv_path));
+    sink.write(r);
+
+    std::ifstream jf(json_path);
+    std::string line;
+    ASSERT_TRUE(std::getline(jf, line));
+    EXPECT_EQ(line, reportToJsonLine(r));
+
+    std::ifstream cf(csv_path);
+    std::string header;
+    std::string row;
+    ASSERT_TRUE(std::getline(cf, header));
+    ASSERT_TRUE(std::getline(cf, row));
+    EXPECT_EQ(row, reportToCsvRow(r));
+
+    sink.close();
+    std::remove(json_path.c_str());
+    std::remove(csv_path.c_str());
+}
+
+TEST(Sink, TruncatedArtifactStillYieldsEveryCompleteLine)
+{
+    // Simulate a crash mid-append: two complete lines plus a torn third.
+    Report r1;
+    r1.workload = "app1";
+    r1.configName = "cfg";
+    Report r2;
+    r2.workload = "app2";
+    r2.configName = "cfg";
+    Report r3;
+    r3.workload = "app3";
+    r3.configName = "cfg";
+
+    std::string path = ::testing::TempDir() + "truncated.jsonl";
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << reportToJsonLine(r1) << '\n' << reportToJsonLine(r2) << '\n';
+        std::string torn = reportToJsonLine(r3);
+        out << torn.substr(0, torn.size() / 2);
+    }
+
+    std::ifstream in(path);
+    std::string line;
+    std::vector<Report> recovered;
+    Report parsed;
+    while (std::getline(in, line)) {
+        if (reportFromJsonLine(line, &parsed)) {
+            recovered.push_back(parsed);
+        }
+    }
+    ASSERT_EQ(recovered.size(), 2u);
+    EXPECT_EQ(recovered[0].workload, "app1");
+    EXPECT_EQ(recovered[1].workload, "app2");
+    std::remove(path.c_str());
+}
+
+TEST(Sink, JsonEscapeRoundTrips)
+{
+    for (const std::string s :
+         {std::string("plain"), std::string("quote\"back\\slash"),
+          std::string("line\nbreak\ttab\rcr"),
+          std::string("ctrl\x01\x1f"), std::string("")}) {
+        std::string unescaped;
+        ASSERT_TRUE(jsonUnescape(jsonEscape(s), &unescaped));
+        EXPECT_EQ(unescaped, s);
+    }
+    std::string out;
+    EXPECT_FALSE(jsonUnescape("bad\\", &out));
+    EXPECT_FALSE(jsonUnescape("bad\\q", &out));
+}
+
 TEST(Sink, WritesJsonlAndCsvFiles)
 {
     Report r;

@@ -10,7 +10,15 @@
 # Tunables (environment): UDP_BENCH_WARMUP / UDP_BENCH_INSTR (instruction
 # counts per data point, default here: 20k/40k), UDP_JOBS (sweep worker
 # count, default: all cores), UDP_BENCH_TIMEOUT (wall-clock seconds per
-# bench before it is killed and counted as hung, default: 900).
+# bench before it is killed and counted as hung, default: 900),
+# UDP_BENCH_ISOLATE=1 (run sink benches with --isolate: each sweep point
+# in its own resource-limited child process).
+#
+# Outcome classes per bench: ok, FAILED (nonzero exit), CRASHED (died on
+# a signal — the signal name is reported), HUNG (wall-clock timeout) and
+# INTERRUPTED (exit 130: graceful shutdown). Sink benches checkpoint
+# every finished point into a manifest, so a HUNG or INTERRUPTED bench is
+# retried once with --resume and only re-runs what is missing.
 # See docs/EXPERIMENT_GUIDE.md and docs/ROBUSTNESS.md.
 
 set -euo pipefail
@@ -48,8 +56,32 @@ fig12_uftq_mpki fig13_udp fig14_udp_mpki fig15_lost_instructions
 fig16_btb_sensitivity fig17_ftq_sensitivity table3_optimal_ftq
 ablation_udp"
 
+# Classifies an exit status: ok | failed | crashed | hung | interrupted.
+# `timeout` exits 124 on expiry (137 when it had to SIGKILL); any other
+# status >= 128 means the bench itself died on signal (status - 128).
+classify_rc() {
+    local rc=$1
+    if [[ $rc -eq 0 ]]; then
+        echo ok
+    elif [[ $rc -eq 124 || $rc -eq 137 ]]; then
+        echo hung
+    elif [[ $rc -eq 130 ]]; then
+        echo interrupted
+    elif [[ $rc -ge 128 ]]; then
+        echo crashed
+    else
+        echo failed
+    fi
+}
+
+signal_of_rc() {
+    kill -l "$(($1 - 128))" 2> /dev/null || echo "$(($1 - 128))"
+}
+
 failures=0
 hung=0
+crashed=0
+resumed=0
 for bench in $ALL_BENCHES; do
     bin="$BUILD_DIR/bench/$bench"
     if [[ ! -x "$bin" ]]; then
@@ -58,23 +90,54 @@ for bench in $ALL_BENCHES; do
         continue
     fi
     args=()
+    is_sink=0
     if [[ " $SINK_BENCHES " == *" $bench "* ]]; then
+        is_sink=1
         args=(--json "$OUT_DIR/$bench.jsonl" --csv "$OUT_DIR/$bench.csv")
+        if [[ "${UDP_BENCH_ISOLATE:-0}" == "1" ]]; then
+            args+=(--isolate)
+        fi
     fi
     echo "=== $bench ==="
     rc=0
     run_with_timeout "$bin" "${args[@]}" \
         > "$OUT_DIR/$bench.txt" 2> "$OUT_DIR/$bench.log" || rc=$?
-    if [[ $rc -eq 0 ]]; then
+    outcome=$(classify_rc $rc)
+
+    # A hung or interrupted sink bench has a checkpoint manifest: retry
+    # once with --resume so only the missing points re-run.
+    if [[ $is_sink -eq 1 && ($outcome == hung || $outcome == interrupted) ]]; then
+        echo "RETRY    $bench ($outcome, resuming from manifest)" >&2
+        resumed=$((resumed + 1))
+        rc=0
+        run_with_timeout "$bin" "${args[@]}" --resume \
+            > "$OUT_DIR/$bench.txt" 2>> "$OUT_DIR/$bench.log" || rc=$?
+        outcome=$(classify_rc $rc)
+    fi
+
+    case $outcome in
+    ok)
         echo "ok       $bench"
-    elif [[ $rc -eq 124 || $rc -eq 137 ]]; then
+        ;;
+    hung)
         echo "HUNG     $bench (killed after ${BENCH_TIMEOUT}s, see $OUT_DIR/$bench.log)" >&2
         hung=$((hung + 1))
         failures=$((failures + 1))
-    else
+        ;;
+    crashed)
+        echo "CRASHED  $bench ($(signal_of_rc $rc), see $OUT_DIR/$bench.log)" >&2
+        crashed=$((crashed + 1))
+        failures=$((failures + 1))
+        ;;
+    interrupted)
+        echo "INTERRUPTED $bench (exit 130, see $OUT_DIR/$bench.log)" >&2
+        failures=$((failures + 1))
+        ;;
+    *)
         echo "FAILED   $bench (exit $rc, see $OUT_DIR/$bench.log)" >&2
         failures=$((failures + 1))
-    fi
+        ;;
+    esac
 done
 
 # The sweep-enabled example doubles as an API smoke check.
@@ -87,21 +150,33 @@ if [[ -x "$BUILD_DIR/examples/example_compare_prefetchers" ]]; then
         --csv "$OUT_DIR/compare_prefetchers.csv" \
         > "$OUT_DIR/compare_prefetchers.txt" \
         2> "$OUT_DIR/compare_prefetchers.log" || rc=$?
-    if [[ $rc -eq 0 ]]; then
+    case $(classify_rc $rc) in
+    ok)
         echo "ok       example_compare_prefetchers"
-    elif [[ $rc -eq 124 || $rc -eq 137 ]]; then
+        ;;
+    hung)
         echo "HUNG     example_compare_prefetchers (killed after ${BENCH_TIMEOUT}s)" >&2
         hung=$((hung + 1))
         failures=$((failures + 1))
-    else
+        ;;
+    crashed)
+        echo "CRASHED  example_compare_prefetchers ($(signal_of_rc $rc))" >&2
+        crashed=$((crashed + 1))
+        failures=$((failures + 1))
+        ;;
+    *)
         echo "FAILED   example_compare_prefetchers (exit $rc)" >&2
         failures=$((failures + 1))
-    fi
+        ;;
+    esac
 fi
 
 echo
+if [[ $resumed -ne 0 ]]; then
+    echo "$resumed bench(es) retried with --resume" >&2
+fi
 if [[ $failures -ne 0 ]]; then
-    echo "$failures bench(es) failed ($hung hung); artifacts in $OUT_DIR" >&2
+    echo "$failures bench(es) failed ($hung hung, $crashed crashed); artifacts in $OUT_DIR" >&2
     exit 1
 fi
 echo "all benches passed; artifacts in $OUT_DIR"
