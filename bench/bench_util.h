@@ -25,6 +25,7 @@
 #include "sim/sweep.h"
 #include "stats/sink.h"
 #include "stats/table.h"
+#include "stats/tracefile.h"
 
 namespace udp::bench {
 
@@ -66,6 +67,12 @@ inline const char* kFailureDumpDir = "failure_dumps";
  *   --manifest PATH             checkpoint manifest (default: derived from
  *                               the CSV/JSON path)
  *   --resume                    skip points the manifest records as done
+ *   --interval-stats PATH       telemetry interval rows as CSV (a sibling
+ *                               ".jsonl" with interval + summary rows is
+ *                               written next to it; docs/TELEMETRY.md)
+ *   --trace-out PATH            Chrome-trace JSON of every job (open in
+ *                               chrome://tracing or ui.perfetto.dev)
+ *   --telemetry-interval N      interval-row period in cycles
  */
 struct SinkArgs
 {
@@ -77,6 +84,16 @@ struct SinkArgs
     std::uint64_t memLimitMb = 0;  ///< 0 = default (4096 when isolating)
     std::uint64_t cpuLimitSec = 0; ///< 0 = no RLIMIT_CPU
     double wallLimitSec = 0.0;     ///< 0 = no wall deadline
+
+    std::string intervalPath;      ///< --interval-stats CSV destination
+    std::string tracePath;         ///< --trace-out Chrome-trace destination
+    std::uint64_t telemetryInterval = 0; ///< 0 = TelemetryConfig default
+
+    /** Telemetry is on whenever any telemetry artifact was requested. */
+    bool telemetryEnabled() const
+    {
+        return !intervalPath.empty() || !tracePath.empty();
+    }
 };
 
 /**
@@ -106,6 +123,12 @@ parseSinkArgs(int argc, char** argv,
             s.cpuLimitSec = std::strtoull(argv[++i], nullptr, 10);
         } else if (a == "--wall-sec" && i + 1 < argc) {
             s.wallLimitSec = std::strtod(argv[++i], nullptr);
+        } else if (a == "--interval-stats" && i + 1 < argc) {
+            s.intervalPath = argv[++i];
+        } else if (a == "--trace-out" && i + 1 < argc) {
+            s.tracePath = argv[++i];
+        } else if (a == "--telemetry-interval" && i + 1 < argc) {
+            s.telemetryInterval = std::strtoull(argv[++i], nullptr, 10);
         } else if (positional != nullptr) {
             positional->push_back(std::move(a));
         }
@@ -187,6 +210,34 @@ applyEnvFault(std::vector<SweepJob>* jobs)
 }
 
 /**
+ * Enables telemetry (stats/telemetry.h) on every job when @p args
+ * requested a telemetry artifact. Process-isolated sweeps only ship the
+ * serialized Report over the result pipe, so snapshots cannot cross the
+ * fork boundary: --isolate wins and telemetry is skipped with a warning.
+ */
+inline void
+applyTelemetry(std::vector<SweepJob>* jobs, const SinkArgs& args)
+{
+    if (!args.telemetryEnabled()) {
+        return;
+    }
+    if (args.isolate) {
+        std::fprintf(stderr,
+                     "[bench] --interval-stats/--trace-out ignored with "
+                     "--isolate: telemetry snapshots do not cross the "
+                     "process boundary\n");
+        return;
+    }
+    for (SweepJob& job : *jobs) {
+        job.config.telemetry.enabled = true;
+        job.config.telemetry.trace = !args.tracePath.empty();
+        if (args.telemetryInterval != 0) {
+            job.config.telemetry.intervalCycles = args.telemetryInterval;
+        }
+    }
+}
+
+/**
  * Fault-tolerant sweep used by every bench: a crashing or hanging point
  * never aborts the figure. Failed points get diagnostic dumps under
  * kFailureDumpDir and surface through writeArtifactsChecked()'s exit
@@ -199,6 +250,7 @@ inline std::vector<JobResult>
 runBenchSweep(std::vector<SweepJob> jobs, const SinkArgs& args)
 {
     applyEnvFault(&jobs);
+    applyTelemetry(&jobs, args);
     SweepOptions o;
     o.dumpDir = kFailureDumpDir;
     o.isolate = args.isolate;
@@ -392,6 +444,67 @@ finishArtifacts(const SinkArgs& args, const std::vector<Report>& reports,
     return 0;
 }
 
+/** "<stem>.jsonl" sibling of the --interval-stats CSV path. */
+inline std::string
+telemetryJsonlPath(const std::string& csvPath)
+{
+    std::string base = csvPath;
+    std::string e = ".csv";
+    if (base.size() > e.size() &&
+        base.compare(base.size() - e.size(), e.size(), e) == 0) {
+        base.erase(base.size() - e.size());
+    }
+    return base + ".jsonl";
+}
+
+/**
+ * Writes the telemetry artifacts requested in @p args from the snapshots
+ * carried by successful results: interval CSV at --interval-stats (plus a
+ * sibling ".jsonl" with interval AND per-run summary rows), and one
+ * Chrome-trace JSON at --trace-out covering every traced job. No-op when
+ * no telemetry artifact was requested or no snapshot exists (e.g. the
+ * sweep ran with --isolate).
+ */
+inline void
+writeTelemetryArtifacts(const SinkArgs& args,
+                        const std::vector<SweepJob>& jobs,
+                        const std::vector<JobResult>& results)
+{
+    if (!args.telemetryEnabled()) {
+        return;
+    }
+    TelemetrySink sink;
+    if (!args.intervalPath.empty()) {
+        sink.openCsv(args.intervalPath);
+        sink.openJson(telemetryJsonlPath(args.intervalPath));
+    }
+    std::vector<TraceJob> traceJobs;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok || !results[i].report.telemetry) {
+            continue;
+        }
+        const auto& snap = results[i].report.telemetry;
+        if (sink.active()) {
+            sink.writeRun(jobs[i].profile.name, jobs[i].label, *snap);
+        }
+        if (!args.tracePath.empty()) {
+            traceJobs.push_back(
+                {jobs[i].profile.name + "/" + jobs[i].label, snap});
+        }
+    }
+    sink.close();
+    if (!args.tracePath.empty() && !traceJobs.empty()) {
+        if (!writeChromeTrace(args.tracePath, traceJobs)) {
+            std::fprintf(stderr, "[bench] failed to write trace %s\n",
+                         args.tracePath.c_str());
+        } else {
+            std::printf("Chrome trace written to %s (load in "
+                        "chrome://tracing or ui.perfetto.dev)\n",
+                        args.tracePath.c_str());
+        }
+    }
+}
+
 /**
  * Sink + exit-code tail for benches built on runBenchSweep(): writes each
  * successful job's Report and each failure's row, in job order. Jobs
@@ -417,6 +530,7 @@ writeArtifactsChecked(const SinkArgs& args, const std::vector<SweepJob>& jobs,
         }
     }
     int rc = finishArtifacts(args, ok, failures);
+    writeTelemetryArtifacts(args, jobs, results);
     if (skipped != 0) {
         std::fprintf(stderr,
                      "[bench] interrupted: %zu point(s) skipped; re-run "

@@ -59,7 +59,15 @@ MemSystem::tick(Cycle now)
         // before installation -> it lands without the (unused) prefetch bit.
         bool still_prefetch = e.isPrefetch && !e.demandMerged;
         // Oracle bit: consumed by on-path demand while in flight?
-        l1i.insert(e.line, still_prefetch);
+        CacheInsertResult ins = l1i.insert(e.line, still_prefetch);
+        if (telem_) {
+            if (ins.victimPrefetchUnused) {
+                telem_->onPrefetchEvicted(ins.victimLine);
+            }
+            if (still_prefetch) {
+                telem_->onPrefetchFill(e.line, ins.evicted);
+            }
+        }
         if (e.isPrefetch && e.demandMerged && !e.onPathDemandMerged) {
             // Hardware saw a merge, but it was wrong-path-only: from the
             // oracle's perspective this prefetch is still unproven; since
@@ -98,6 +106,9 @@ MemSystem::ifetch(Addr pc, Cycle now, bool on_path)
         ++stats_.ifetchL1Hits;
         if (was_prefetched) {
             ++stats_.ifetchTimelyPrefetchHits;
+            if (telem_) {
+                telem_->onPrefetchFirstUse(line);
+            }
         }
         res.where = IFetchWhere::L1;
         res.ready = now + cfg.l1iLat;
@@ -110,6 +121,10 @@ MemSystem::ifetch(Addr pc, Cycle now, bool on_path)
         if (e->isPrefetch) {
             if (!e->demandMerged) {
                 ++stats_.pfMshrMergesHw;
+                if (telem_) {
+                    telem_->onPrefetchLateMerge(
+                        line, e->ready > now ? e->ready - now : 0);
+                }
             }
             if (on_path && !e->onPathDemandMerged) {
                 ++stats_.pfMshrMergesTrue;
@@ -141,7 +156,7 @@ MemSystem::ifetch(Addr pc, Cycle now, bool on_path)
 }
 
 IPrefStatus
-MemSystem::iprefetch(Addr addr, Cycle now)
+MemSystem::iprefetch(Addr addr, Cycle now, PfSource src)
 {
     Addr line = lineAddr(addr);
     if (cfg.perfectIcache || l1i.contains(line)) {
@@ -177,6 +192,9 @@ MemSystem::iprefetch(Addr addr, Cycle now)
         return IPrefStatus::DemotedL2;
     }
     ++stats_.iprefIssued;
+    if (telem_) {
+        telem_->onPrefetchIssued(line, src);
+    }
     return IPrefStatus::Issued;
 }
 
@@ -198,8 +216,12 @@ MemSystem::dload(Addr addr, Cycle now, bool on_path)
     ++stats_.dloads;
     Addr line = lineAddr(addr);
 
+    bool was_prefetched = l1d.prefetchBit(line);
     if (l1d.demandAccess(line, on_path)) {
         ++stats_.dloadL1Hits;
+        if (was_prefetched && telem_) {
+            telem_->onPrefetchFirstUse(line);
+        }
         return now + cfg.l1dLat;
     }
 
@@ -212,7 +234,10 @@ MemSystem::dload(Addr addr, Cycle now, bool on_path)
 
     Cycle fill_delta = lowerHierarchyLatency(line, now, false);
     Cycle ready = now + cfg.l1dLat + fill_delta;
-    l1d.insert(line, false);
+    CacheInsertResult ins = l1d.insert(line, false);
+    if (telem_ && ins.victimPrefetchUnused) {
+        telem_->onPrefetchEvicted(ins.victimLine);
+    }
     dInflight.push_back(DInflight{line, ready});
 
     // Train the stream prefetcher on demand misses.
@@ -224,7 +249,15 @@ MemSystem::dload(Addr addr, Cycle now, bool on_path)
                 // Prefetch fills are modelled as immediate L2-side
                 // installs; latency hiding happens via presence.
                 lowerHierarchyLatency(pf, now, false);
-                l1d.insert(pf, true);
+                CacheInsertResult pins = l1d.insert(pf, true);
+                if (telem_) {
+                    if (pins.victimPrefetchUnused) {
+                        telem_->onPrefetchEvicted(pins.victimLine);
+                    }
+                    // Immediate-fill model: issue and fill coincide.
+                    telem_->onPrefetchIssued(pf, PfSource::Stream);
+                    telem_->onPrefetchFill(pf, pins.evicted);
+                }
             }
         }
     }
@@ -239,7 +272,10 @@ MemSystem::dstore(Addr addr, Cycle now)
     Addr line = lineAddr(addr);
     if (!l1d.contains(line)) {
         // Write-allocate without stalling the pipeline (store buffer).
-        l1d.insert(line, false);
+        CacheInsertResult ins = l1d.insert(line, false);
+        if (telem_ && ins.victimPrefetchUnused) {
+            telem_->onPrefetchEvicted(ins.victimLine);
+        }
     } else {
         l1d.touch(line);
     }

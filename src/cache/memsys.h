@@ -19,6 +19,7 @@
 #include "cache/mshr.h"
 #include "cache/stream_prefetcher.h"
 #include "common/types.h"
+#include "stats/telemetry.h"
 
 namespace udp {
 
@@ -136,8 +137,10 @@ class MemSystem
      */
     IFetchResult ifetch(Addr pc, Cycle now, bool on_path);
 
-    /** FDIP/EIP prefetch of the line containing @p addr into L1I. */
-    IPrefStatus iprefetch(Addr addr, Cycle now);
+    /** FDIP/EIP prefetch of the line containing @p addr into L1I.
+     *  @p src attributes the request in the telemetry lifecycle tracker. */
+    IPrefStatus iprefetch(Addr addr, Cycle now,
+                          PfSource src = PfSource::Fdip);
 
     /** True when the line containing @p addr is resident in L1I. */
     bool icacheContains(Addr addr) const;
@@ -178,6 +181,9 @@ class MemSystem
 
     const MemSysConfig& config() const { return cfg; }
 
+    /** Telemetry attachment (null = disabled, zero-cost hooks). */
+    void setTelemetry(Telemetry* t) { telem_ = t; }
+
   private:
     /** Looks up L2/LLC/DRAM; returns the fill latency beyond L1. */
     Cycle lowerHierarchyLatency(Addr line, Cycle now, bool instruction);
@@ -201,6 +207,7 @@ class MemSystem
 
     Cycle dramNextFree = 0;
     MemSysStats stats_;
+    Telemetry* telem_ = nullptr;
 };
 
 } // namespace udp

@@ -102,6 +102,10 @@ class UdpEngine
     const ConfidenceStats& confidenceStats() const { return conf.stats(); }
     void clearStats();
 
+    /** Telemetry attachment (null = disabled); forwarded to the
+     *  useful-set so filter clears surface as trace events. */
+    void setTelemetry(Telemetry* t) { set.setTelemetry(t); }
+
   private:
     UdpConfig cfg;
     OffPathConfidence conf;

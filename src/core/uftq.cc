@@ -25,10 +25,14 @@ UftqController::combine(double a, double t)
 void
 UftqController::applyDepth(unsigned d)
 {
+    unsigned prev = depth;
     depth = std::clamp<unsigned>(d, cfg.minDepth,
                                  static_cast<unsigned>(
                                      ftq.physicalCapacity()));
     ftq.setCapacity(depth);
+    if (telem_ && depth != prev) {
+        telem_->onFtqDepthChange(depth);
+    }
 }
 
 unsigned

@@ -89,6 +89,9 @@ class UftqController
 
     const UftqStats& stats() const { return stats_; }
 
+    /** Telemetry attachment (null = disabled). */
+    void setTelemetry(Telemetry* t) { telem_ = t; }
+
     /** Resets statistics and counter snapshots (measurement start). */
     void
     clearStats()
@@ -112,6 +115,7 @@ class UftqController
     Ftq& ftq;
     UftqConfig cfg;
     unsigned depth;
+    Telemetry* telem_ = nullptr;
 
     // Counter snapshots at the last epoch boundary.
     std::uint64_t lastEmitted = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "stats/telemetry.h"
+
 namespace udp {
 
 UsefulSet::UsefulSet(const UsefulSetConfig& c)
@@ -114,6 +116,9 @@ UsefulSet::maybeClear()
         f4.clear();
         recent.clear();
         ++stats_.clears;
+        if (telem_) {
+            telem_->onUsefulSetClear();
+        }
     }
     epochEmitted = 0;
     epochUnuseful = 0;

@@ -19,6 +19,8 @@
 
 namespace udp {
 
+class Telemetry;
+
 /** Configuration (defaults = the paper's 8KB budget). */
 struct UsefulSetConfig
 {
@@ -83,6 +85,9 @@ class UsefulSet
     const UsefulSetStats& stats() const { return stats_; }
     void clearStats() { stats_ = UsefulSetStats(); }
 
+    /** Telemetry attachment (null = disabled). */
+    void setTelemetry(Telemetry* t) { telem_ = t; }
+
   private:
     void insertEvicted(Addr line);
 
@@ -95,6 +100,7 @@ class UsefulSet
     std::uint64_t epochEmitted = 0;
     std::uint64_t epochUnuseful = 0;
     UsefulSetStats stats_;
+    Telemetry* telem_ = nullptr;
 };
 
 } // namespace udp

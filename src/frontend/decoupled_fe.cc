@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/intmath.h"
+#include "stats/telemetry.h"
 
 namespace udp {
 
@@ -197,6 +198,9 @@ DecoupledFrontend::resteer(Cycle resume_at, Addr new_pc, bool is_aligned,
     ++stats_.resteers;
     if (from_decode) {
         ++stats_.decodeResteers;
+    }
+    if (telem_) {
+        telem_->onResteer(pc, from_decode);
     }
 }
 

@@ -88,6 +88,9 @@ class DecoupledFrontend
     const FrontendStats& stats() const { return stats_; }
     void clearStats() { stats_ = FrontendStats(); }
 
+    /** Telemetry attachment (null = disabled). */
+    void setTelemetry(Telemetry* t) { telem_ = t; }
+
   private:
     /** Builds one fetch block; returns false when the FTQ is full. */
     bool buildBlock(Cycle now);
@@ -109,6 +112,7 @@ class DecoupledFrontend
     Cycle stallUntil = 0;
     std::uint64_t dynIdCounter = 1;
     FrontendStats stats_;
+    Telemetry* telem_ = nullptr;
 };
 
 } // namespace udp

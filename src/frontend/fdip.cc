@@ -56,6 +56,9 @@ FdipEngine::probe(FtqEntry& e, Cycle now)
         }
         if (!d.emit) {
             ++stats_.droppedByUdp;
+            if (telem_) {
+                telem_->onUdpDrop(line);
+            }
             return;
         }
         span = d.span;
@@ -64,7 +67,9 @@ FdipEngine::probe(FtqEntry& e, Cycle now)
 
     for (unsigned i = 0; i < span; ++i) {
         Addr target = base + Addr{i} * kLineBytes;
-        IPrefStatus st = mem.iprefetch(target, now);
+        IPrefStatus st = mem.iprefetch(
+            target, now,
+            target != line ? PfSource::UdpExtra : PfSource::Fdip);
         if (st == IPrefStatus::Issued || st == IPrefStatus::DemotedL2) {
             ++stats_.emitted;
             if (target != line) {

@@ -49,6 +49,9 @@ class FdipEngine
     /** Attaches the UDP filter (nullptr = vanilla FDIP). */
     void setUdp(UdpEngine* udp) { udp_ = udp; }
 
+    /** Telemetry attachment (null = disabled). */
+    void setTelemetry(Telemetry* t) { telem_ = t; }
+
     /** Scans up to blocksPerCycle unprobed FTQ blocks. */
     void tick(Cycle now);
 
@@ -68,6 +71,7 @@ class FdipEngine
     Ftq& ftq;
     FdipConfig cfg;
     UdpEngine* udp_ = nullptr;
+    Telemetry* telem_ = nullptr;
     std::size_t scanIdx = 0;
     FdipStats stats_;
 };

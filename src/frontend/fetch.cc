@@ -164,6 +164,9 @@ FetchStage::tick(Cycle now)
             // fetch-to-dispatch depth); only misses stall delivery.
             headReady = res.where == IFetchWhere::L1 ? now : res.ready;
             headConsumed = 0;
+            if (telem_ && headReady > now) {
+                telem_->onFetchStall(lineAddr(head.startPc), now, headReady);
+            }
         }
 
         if (now < headReady) {

@@ -94,6 +94,9 @@ class FetchStage
     const FetchStats& stats() const { return stats_; }
     void clearStats() { stats_ = FetchStats(); }
 
+    /** Telemetry attachment (null = disabled). */
+    void setTelemetry(Telemetry* t) { telem_ = t; }
+
     /** Invariant check (sim/invariants.h): decode-queue bound and head
      *  progress consistency. Returns the first violation, or "". */
     std::string checkInvariants() const;
@@ -124,6 +127,7 @@ class FetchStage
     unsigned headConsumed = 0;
 
     FetchStats stats_;
+    Telemetry* telem_ = nullptr;
 };
 
 } // namespace udp

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "stats/telemetry.h"
+
 namespace udp {
 
 Ftq::Ftq(std::size_t physical_capacity, std::size_t capacity)
@@ -23,6 +25,9 @@ Ftq::push(FtqEntry e)
 {
     assert(!full());
     ++stats_.pushes;
+    if (telem_) {
+        telem_->onFtqPush(e.startPc);
+    }
     q.push_back(std::move(e));
 }
 
@@ -39,6 +44,9 @@ void
 Ftq::flush()
 {
     ++stats_.flushes;
+    if (telem_) {
+        telem_->onFtqFlush(q.size());
+    }
     q.clear();
 }
 

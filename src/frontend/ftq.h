@@ -19,6 +19,8 @@
 
 namespace udp {
 
+class Telemetry;
+
 /** One instruction slot inside a fetch block. */
 struct FtqInstr
 {
@@ -125,7 +127,11 @@ class Ftq
     /** Occupancy + head/tail summary for diagnostic reports. */
     std::string dumpState() const;
 
+    /** Telemetry attachment (null = disabled). */
+    void setTelemetry(Telemetry* t) { telem_ = t; }
+
   private:
+    Telemetry* telem_ = nullptr;
     std::deque<FtqEntry> q;
     std::size_t physCap;
     std::size_t capacity_;

@@ -62,7 +62,8 @@ Eip::onAccess(Addr line, bool hit, Cycle now)
     if (Entry* e = findEntry(line)) {
         ++stats_.triggers;
         for (Addr dst : e->dsts) {
-            if (mem.iprefetch(dst, now) == IPrefStatus::Issued) {
+            if (mem.iprefetch(dst, now, PfSource::Eip) ==
+                IPrefStatus::Issued) {
                 ++stats_.prefetchesIssued;
             }
         }

@@ -53,6 +53,35 @@ Cpu::Cpu(const Program& prog, const SimConfig& c) : cfg(c), program(prog)
         }
     };
     fetch_->onFtqFlushed = [this]() { fdip_->onFtqFlush(); };
+
+    if (cfg.telemetry.enabled) {
+        telemetry_ = std::make_unique<Telemetry>(cfg.telemetry);
+        Telemetry* t = telemetry_.get();
+        mem_->setTelemetry(t);
+        ftq_->setTelemetry(t);
+        fe_->setTelemetry(t);
+        fetch_->setTelemetry(t);
+        fdip_->setTelemetry(t);
+        if (udp_) {
+            udp_->setTelemetry(t);
+        }
+        if (uftq_) {
+            uftq_->setTelemetry(t);
+        }
+    }
+}
+
+Telemetry::IntervalCounters
+Cpu::telemetryCounters() const
+{
+    Telemetry::IntervalCounters c;
+    c.retired = backend_->retired();
+    c.ifetchMisses = mem_->stats().ifetchMisses;
+    c.pfIssued = mem_->stats().iprefIssued;
+    c.pfUseful =
+        mem_->l1iStats().prefetchHits + mem_->stats().pfMshrMergesHw;
+    c.pfUnused = mem_->l1iStats().prefetchUnused;
+    return c;
 }
 
 void
@@ -90,6 +119,10 @@ void
 Cpu::cycle()
 {
     ++now_;
+
+    if (telemetry_) {
+        telemetry_->beginCycle(now_, ftq_->size());
+    }
 
     // Fault injection lands before any component ticks so the perturbed
     // state flows through a whole cycle before detection can run. Sticky
@@ -135,6 +168,10 @@ Cpu::cycle()
         if ((now_ & 0x3ff) == 0) {
             udp_->maintain();
         }
+    }
+
+    if (telemetry_ && telemetry_->intervalDue()) {
+        telemetry_->closeInterval(telemetryCounters());
     }
 
     // --- hardening: forward-progress watchdog + invariant sweeps --------
@@ -247,6 +284,10 @@ Cpu::clearStats()
     }
     statsStartCycle_ = now_;
     lastPfUnused = mem_->l1iStats().prefetchUnused;
+    if (telemetry_) {
+        telemetry_->clearStats();
+        telemetry_->setBaseline(telemetryCounters());
+    }
 }
 
 } // namespace udp

@@ -58,6 +58,8 @@ class Cpu
     const UdpEngine* udp() const { return udp_.get(); }
     const UftqController* uftq() const { return uftq_.get(); }
     const Eip* eip() const { return eip_.get(); }
+    /** Telemetry collector (null unless SimConfig::telemetry.enabled). */
+    Telemetry* telemetry() const { return telemetry_.get(); }
 
     const SimConfig& config() const { return cfg; }
 
@@ -66,6 +68,9 @@ class Cpu
     friend bool applyFault(Cpu& cpu, const FaultPlan& plan, Cycle now);
 
     void applyResteer(const ResteerRequest& req);
+
+    /** Current cumulative counters for interval-delta accounting. */
+    Telemetry::IntervalCounters telemetryCounters() const;
 
     SimConfig cfg;
     const Program& program;
@@ -82,6 +87,7 @@ class Cpu
     std::unique_ptr<UdpEngine> udp_;
     std::unique_ptr<UftqController> uftq_;
     std::unique_ptr<Eip> eip_;
+    std::unique_ptr<Telemetry> telemetry_;
 
     Cycle now_ = 0;
     Cycle statsStartCycle_ = 0;

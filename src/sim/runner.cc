@@ -8,6 +8,8 @@
 #include <memory>
 #include <mutex>
 
+#include "sim/simerror.h"
+#include "stats/tracefile.h"
 #include "workload/builder.h"
 
 namespace udp {
@@ -115,6 +117,13 @@ collectReport(const Cpu& cpu, std::string workload, std::string config_name)
         r.udpFilteredEmits = u->stats().emittedFiltered;
         r.udpLearned = u->usefulSetStats().learns;
     }
+
+    if (Telemetry* t = cpu.telemetry()) {
+        // Classify still-live prefetches as Pending so the taxonomy
+        // identity (timely+late+unused+polluting+pending == issued) holds.
+        t->finalize();
+        r.telemetry = t->snapshot();
+    }
     return r;
 }
 
@@ -124,9 +133,24 @@ runSim(const Profile& profile, const SimConfig& cfg, const RunOptions& opts,
 {
     const Program& prog = cachedProgram(profile);
     Cpu cpu(prog, cfg);
-    cpu.runUntilRetired(opts.warmupInstrs);
-    cpu.clearStats();
-    cpu.runUntilRetired(opts.measureInstrs);
+    try {
+        cpu.runUntilRetired(opts.warmupInstrs);
+        cpu.clearStats();
+        cpu.runUntilRetired(opts.measureInstrs);
+    } catch (const SimError& e) {
+        // Post-mortem trace: annotate the telemetry snapshot with the
+        // error (kind, component, Cpu::dumpState()) and drop a final
+        // Chrome-trace slice before propagating the failure.
+        Telemetry* t = cpu.telemetry();
+        if (t && !cfg.telemetry.errorTracePath.empty()) {
+            t->noteError(e.kindName(), e.component(), e.cycle(), e.dump());
+            t->finalize();
+            writeChromeTrace(
+                cfg.telemetry.errorTracePath,
+                {TraceJob{profile.name + "/" + config_name, t->snapshot()}});
+        }
+        throw;
+    }
     return collectReport(cpu, profile.name, std::move(config_name));
 }
 

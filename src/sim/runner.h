@@ -13,6 +13,7 @@
 #define UDP_SIM_RUNNER_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -105,6 +106,16 @@ struct Report
     /** Flattened view for generic printing; same keys as the sinks minus
      *  the two string fields. */
     StatSet toStatSet() const;
+
+    /**
+     * End-of-run telemetry (null unless SimConfig::telemetry.enabled).
+     * Deliberately NOT part of toStatSet()/the report sink schema: report
+     * JSON/CSV rows stay byte-identical whether telemetry ran or not;
+     * interval rows, summaries and traces flow through the dedicated
+     * TelemetrySink / writeChromeTrace paths (stats/sink.h,
+     * stats/tracefile.h).
+     */
+    std::shared_ptr<const TelemetrySnapshot> telemetry;
 };
 
 /** Run options. */

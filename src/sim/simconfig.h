@@ -18,6 +18,7 @@
 #include "frontend/fetch.h"
 #include "prefetch/eip.h"
 #include "sim/faultinject.h"
+#include "stats/telemetry.h"
 
 namespace udp {
 
@@ -67,6 +68,11 @@ struct SimConfig
 
     /** Fault injection (kind None = clean run; tests/test_faults.cc). */
     FaultPlan fault;
+
+    /** Telemetry layer: lifecycle tracking, interval stats, trace export
+     *  (docs/TELEMETRY.md). Disabled by default; when disabled the run is
+     *  byte-identical to a build without the telemetry layer. */
+    TelemetryConfig telemetry;
 };
 
 /** Named preset configurations used across benches and examples. */

@@ -24,7 +24,8 @@ writeLineAtomic(std::ofstream& out, std::string line)
     out.flush();
 }
 
-/** Shortest round-trip decimal rendering of @p v ("400000", "0.85"). */
+} // namespace
+
 std::string
 formatNumber(double v)
 {
@@ -40,8 +41,6 @@ formatNumber(double v)
     std::to_chars_result res = std::to_chars(buf, buf + sizeof(buf), v);
     return std::string(buf, res.ptr);
 }
-
-} // namespace
 
 std::string
 jsonEscape(const std::string& s)
@@ -478,6 +477,153 @@ ReportSink::close()
     }
     if (failureCsv.is_open()) {
         failureCsv.close();
+    }
+}
+
+// ----- telemetry rows ---------------------------------------------------
+
+namespace {
+
+/** Ordered (key, value) pairs of one interval row's numeric fields. */
+std::vector<std::pair<std::string, double>>
+intervalEntries(const IntervalRow& row)
+{
+    return {
+        {"interval", static_cast<double>(row.index)},
+        {"cycle_start", static_cast<double>(row.cycleStart)},
+        {"cycle_end", static_cast<double>(row.cycleEnd)},
+        {"instructions", static_cast<double>(row.instructions)},
+        {"ipc", row.ipc},
+        {"icache_mpki", row.icacheMpki},
+        {"ftq_occupancy", row.ftqOccupancy},
+        {"prefetches_issued", static_cast<double>(row.prefetchesIssued)},
+        {"pf_accuracy", row.pfAccuracy},
+        {"pf_timely", static_cast<double>(row.pfTimely)},
+        {"pf_late", static_cast<double>(row.pfLate)},
+        {"pf_unused", static_cast<double>(row.pfUnused)},
+    };
+}
+
+} // namespace
+
+std::vector<std::string>
+intervalSchemaKeys()
+{
+    std::vector<std::string> keys = {"workload", "config"};
+    for (const auto& [name, value] : intervalEntries(IntervalRow{})) {
+        (void)value;
+        keys.push_back(name);
+    }
+    return keys;
+}
+
+std::string
+intervalToJsonLine(const std::string& workload, const std::string& config,
+                   const IntervalRow& row)
+{
+    std::string out = "{\"row_type\":\"interval\",\"workload\":\"" +
+                      jsonEscape(workload) + "\",\"config\":\"" +
+                      jsonEscape(config) + "\"";
+    for (const auto& [name, value] : intervalEntries(row)) {
+        out += ",\"" + name + "\":" + formatNumber(value);
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+intervalCsvHeader()
+{
+    std::string out;
+    for (const std::string& key : intervalSchemaKeys()) {
+        if (!out.empty()) {
+            out += ',';
+        }
+        out += key;
+    }
+    return out;
+}
+
+std::string
+intervalToCsvRow(const std::string& workload, const std::string& config,
+                 const IntervalRow& row)
+{
+    std::string out = csvEscape(workload) + ',' + csvEscape(config);
+    for (const auto& [name, value] : intervalEntries(row)) {
+        (void)name;
+        out += ',' + formatNumber(value);
+    }
+    return out;
+}
+
+std::string
+telemetrySummaryToJsonLine(const std::string& workload,
+                           const std::string& config,
+                           const TelemetrySnapshot& snap)
+{
+    std::string out = "{\"row_type\":\"telemetry_summary\",\"workload\":\"" +
+                      jsonEscape(workload) + "\",\"config\":\"" +
+                      jsonEscape(config) + "\"";
+    StatSet stats = snap.toStatSet();
+    for (const auto& [name, value] : stats.entries()) {
+        out += ",\"" + name + "\":" + formatNumber(value);
+    }
+    out += "}";
+    return out;
+}
+
+bool
+TelemetrySink::openJson(const std::string& path)
+{
+    json.open(path, std::ios::out | std::ios::trunc);
+    if (!json.is_open()) {
+        std::fprintf(stderr, "[udp] cannot open telemetry JSON \"%s\"\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+TelemetrySink::openCsv(const std::string& path)
+{
+    csv.open(path, std::ios::out | std::ios::trunc);
+    if (!csv.is_open()) {
+        std::fprintf(stderr, "[udp] cannot open telemetry CSV \"%s\"\n",
+                     path.c_str());
+        return false;
+    }
+    writeLineAtomic(csv, intervalCsvHeader());
+    return true;
+}
+
+void
+TelemetrySink::writeRun(const std::string& workload,
+                        const std::string& config,
+                        const TelemetrySnapshot& snap)
+{
+    for (const IntervalRow& row : snap.intervals) {
+        if (json.is_open()) {
+            writeLineAtomic(json, intervalToJsonLine(workload, config, row));
+        }
+        if (csv.is_open()) {
+            writeLineAtomic(csv, intervalToCsvRow(workload, config, row));
+        }
+    }
+    if (json.is_open()) {
+        writeLineAtomic(json,
+                        telemetrySummaryToJsonLine(workload, config, snap));
+    }
+}
+
+void
+TelemetrySink::close()
+{
+    if (json.is_open()) {
+        json.close();
+    }
+    if (csv.is_open()) {
+        csv.close();
     }
 }
 

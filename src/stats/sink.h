@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "stats/telemetry.h"
+
 namespace udp {
 
 struct Report;
@@ -46,6 +48,10 @@ struct FailureRow
     double userSec = 0.0;       ///< child user CPU seconds
     double sysSec = 0.0;        ///< child system CPU seconds
 };
+
+/** Shortest round-trip decimal rendering of @p v ("400000", "0.85");
+ *  integers serialize plain, never in exponent notation. */
+std::string formatNumber(double v);
 
 /** JSON string escaping (quotes, backslash, control characters). Shared
  *  with the sweep manifest and the isolated-execution pipe protocol. */
@@ -89,6 +95,64 @@ std::string reportToCsvRow(const Report& r);
  * on malformed input, unknown keys, or a failure row (key "error_kind").
  */
 bool reportFromJsonLine(const std::string& line, Report* out);
+
+// ----- telemetry rows (docs/TELEMETRY.md has the schema tables) ---------
+
+/** Ordered interval-row schema keys: "workload", "config", then every
+ *  numeric IntervalRow field. */
+std::vector<std::string> intervalSchemaKeys();
+
+/** One JSON object (single line) for an interval row. Distinguishable in
+ *  a mixed stream by "row_type":"interval". */
+std::string intervalToJsonLine(const std::string& workload,
+                               const std::string& config,
+                               const IntervalRow& row);
+
+/** The CSV header row (no trailing newline) matching intervalToCsvRow. */
+std::string intervalCsvHeader();
+
+/** One CSV data row (no trailing newline) for an interval row. */
+std::string intervalToCsvRow(const std::string& workload,
+                             const std::string& config,
+                             const IntervalRow& row);
+
+/** One JSON object (single line) for a run's end-of-window telemetry
+ *  summary ("row_type":"telemetry_summary" + TelemetrySnapshot::toStatSet
+ *  entries). Consumed by tools/trace_summary.py. */
+std::string telemetrySummaryToJsonLine(const std::string& workload,
+                                       const std::string& config,
+                                       const TelemetrySnapshot& snap);
+
+/**
+ * Writes telemetry interval rows (JSONL and/or CSV) and per-run summary
+ * rows (JSONL only). Same crash-safe line-atomic discipline as
+ * ReportSink. Opening no sink makes the writers no-ops.
+ */
+class TelemetrySink
+{
+  public:
+    TelemetrySink() = default;
+
+    /** Opens (truncates) @p path for interval + summary JSON lines. */
+    bool openJson(const std::string& path);
+
+    /** Opens (truncates) @p path for interval CSV (header included). */
+    bool openCsv(const std::string& path);
+
+    /** Appends every interval row of @p snap, then its summary row. */
+    void writeRun(const std::string& workload, const std::string& config,
+                  const TelemetrySnapshot& snap);
+
+    /** True when at least one sink is open. */
+    bool active() const { return json.is_open() || csv.is_open(); }
+
+    /** Flushes and closes all sinks (also done on destruction). */
+    void close();
+
+  private:
+    std::ofstream json;
+    std::ofstream csv;
+};
 
 /**
  * Writes Reports to an optional JSON-lines file and/or an optional CSV

@@ -1,5 +1,6 @@
 #include "stats/stats.h"
 
+#include <cassert>
 #include <sstream>
 
 namespace udp {
@@ -7,7 +8,26 @@ namespace udp {
 void
 StatSet::add(std::string name, double value)
 {
+    // Duplicate names silently corrupted sink output (two JSON keys, two
+    // CSV cells under one header): detect them here. Debug builds abort;
+    // release builds keep the documented last-wins overwrite.
+    for (auto& [n, v] : items) {
+        if (n == name) {
+            assert(false && "StatSet::add: duplicate stat name");
+            v = value;
+            return;
+        }
+    }
     items.emplace_back(std::move(name), value);
+}
+
+void
+StatSet::addDistribution(std::string name, const Distribution& d)
+{
+    for (auto& [key, value] : d.summarize(name)) {
+        add(std::move(key), value);
+    }
+    dists.emplace_back(std::move(name), d);
 }
 
 double
@@ -41,6 +61,9 @@ StatSet::toString() const
     std::ostringstream os;
     for (const auto& [n, v] : items) {
         os << n << " = " << v << '\n';
+    }
+    for (const auto& [n, d] : dists) {
+        os << d.toString(n);
     }
     return os.str();
 }

@@ -4,7 +4,10 @@
  *
  * Components keep plain uint64_t members for speed and export them into a
  * StatSet when a report is requested. StatSet supports dump/diff so benches
- * can measure post-warmup windows.
+ * can measure post-warmup windows. Besides scalars, a StatSet can carry
+ * Distribution stats (stats/histogram.h): addDistribution() flattens the
+ * histogram into schema-stable scalar summary entries for the sinks while
+ * keeping the full bucketed form accessible via distributions().
  */
 
 #ifndef UDP_STATS_STATS_H
@@ -15,14 +18,28 @@
 #include <utility>
 #include <vector>
 
+#include "stats/histogram.h"
+
 namespace udp {
 
 /** An ordered collection of (name, value) statistics. */
 class StatSet
 {
   public:
-    /** Appends a statistic; names should be unique within a set. */
+    /**
+     * Appends a statistic; names must be unique within a set (duplicate
+     * keys would corrupt the JSON sink output). Adding an existing name
+     * asserts in debug builds; in release builds the last value wins
+     * (the existing entry is overwritten in place, order preserved).
+     */
     void add(std::string name, double value);
+
+    /**
+     * Adds a Distribution stat: appends its scalar summary entries
+     * ("<name>_count", "_sum", "_mean", "_min", "_max", "_p50", "_p90",
+     * "_p99") and retains the full histogram (see distributions()).
+     */
+    void addDistribution(std::string name, const Distribution& d);
 
     /** Value lookup; returns 0 and sets @p found=false when missing. */
     double get(const std::string& name, bool* found = nullptr) const;
@@ -35,11 +52,19 @@ class StatSet
         return items;
     }
 
-    /** Renders "name = value" lines, one per entry. */
+    /** Full bucketed distributions added via addDistribution(). */
+    const std::vector<std::pair<std::string, Distribution>>&
+    distributions() const
+    {
+        return dists;
+    }
+
+    /** Renders "name = value" lines (plus distribution buckets). */
     std::string toString() const;
 
   private:
     std::vector<std::pair<std::string, double>> items;
+    std::vector<std::pair<std::string, Distribution>> dists;
 };
 
 /** Safe ratio helper: returns 0 when the denominator is 0. */

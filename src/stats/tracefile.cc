@@ -1,0 +1,168 @@
+#include "stats/tracefile.h"
+
+#include <cstdio>
+
+#include "stats/sink.h"
+
+namespace udp {
+
+namespace {
+
+const char*
+trackName(std::uint8_t track)
+{
+    switch (track) {
+    case kTrackPipeline:
+        return "pipeline";
+    case kTrackPrefetch:
+        return "prefetch";
+    case kTrackUdp:
+        return "udp";
+    case kTrackCounters:
+        return "counters";
+    }
+    return "other";
+}
+
+std::string
+hexAddr(Addr a)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(a));
+    return buf;
+}
+
+void
+appendCommon(std::string& out, const char* name, const char* ph, int pid,
+             unsigned tid, Cycle ts)
+{
+    out += "{\"name\":\"";
+    out += name;
+    out += "\",\"ph\":\"";
+    out += ph;
+    out += "\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(tid) +
+           ",\"ts\":" + std::to_string(ts);
+}
+
+void
+appendMetadata(std::string& out, int pid, const std::string& process_name)
+{
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+           jsonEscape(process_name) + "\"}},\n";
+    for (unsigned tid = 0; tid <= kTrackCounters; ++tid) {
+        out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+               std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+               ",\"args\":{\"name\":\"" + trackName(tid) + "\"}},\n";
+    }
+}
+
+void
+appendEvent(std::string& out, const TraceEvent& ev, int pid)
+{
+    switch (ev.kind) {
+    case TraceEvent::Kind::Slice:
+        appendCommon(out, ev.name, "X", pid, ev.track, ev.ts);
+        out += ",\"dur\":" + std::to_string(ev.dur) +
+               ",\"args\":{\"line\":\"" + hexAddr(ev.addr) + "\"}}";
+        break;
+    case TraceEvent::Kind::Instant:
+        appendCommon(out, ev.name, "i", pid, ev.track, ev.ts);
+        out += ",\"s\":\"t\",\"args\":{";
+        if (ev.addr != 0) {
+            out += "\"addr\":\"" + hexAddr(ev.addr) + "\"";
+            if (ev.value != 0.0) {
+                out += ",";
+            }
+        }
+        if (ev.value != 0.0) {
+            out += "\"value\":" + formatNumber(ev.value);
+        }
+        out += "}}";
+        break;
+    case TraceEvent::Kind::Counter:
+        appendCommon(out, ev.name, "C", pid, ev.track, ev.ts);
+        out += ",\"args\":{\"";
+        out += ev.name;
+        out += "\":" + formatNumber(ev.value) + "}}";
+        break;
+    case TraceEvent::Kind::Span:
+        // Async begin (dur == 0) / end (dur != 0) pair keyed by the line
+        // address, so overlapping in-flight prefetches render separately.
+        appendCommon(out, ev.name, ev.dur == 0 ? "b" : "e", pid, ev.track,
+                     ev.ts);
+        out += ",\"cat\":\"pf\",\"id\":\"" + hexAddr(ev.addr) + "\"";
+        if (ev.dur != 0 && ev.detail) {
+            out += ",\"args\":{\"outcome\":\"";
+            out += ev.detail;
+            out += "\"}";
+        }
+        out += "}";
+        break;
+    }
+    out += ",\n";
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<TraceJob>& jobs)
+{
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool any = false;
+    int pid = 0;
+    for (const TraceJob& job : jobs) {
+        ++pid;
+        if (!job.snap) {
+            continue;
+        }
+        appendMetadata(out, pid, job.name);
+        any = true;
+        for (const TraceEvent& ev : job.snap->events) {
+            appendEvent(out, ev, pid);
+        }
+        if (!job.snap->errorKind.empty()) {
+            // SimError post-mortem: final annotated instant carrying the
+            // multi-component Cpu::dumpState() payload.
+            appendCommon(out, "sim_error", "i", pid, kTrackPipeline,
+                         job.snap->errorCycle);
+            out += ",\"s\":\"p\",\"args\":{\"kind\":\"" +
+                   jsonEscape(job.snap->errorKind) + "\",\"component\":\"" +
+                   jsonEscape(job.snap->errorComponent) + "\",\"dump\":\"" +
+                   jsonEscape(job.snap->errorDump) + "\"}},\n";
+        }
+    }
+    if (any) {
+        // Strip the trailing ",\n" so the array stays valid JSON.
+        out.erase(out.size() - 2);
+        out += "\n";
+    }
+    out += "]}\n";
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string& path, const std::vector<TraceJob>& jobs)
+{
+    std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+        return false;
+    }
+    std::string body = chromeTraceJson(jobs);
+    bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace udp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Chrome-trace (Trace Event Format) exporter: renders the telemetry
+ * layer's bounded event log — pipeline stalls, resteers, prefetch
+ * lifecycles, UDP events, interval counters and SimError post-mortems —
+ * as a JSON file loadable in chrome://tracing or https://ui.perfetto.dev.
+ *
+ * Mapping (docs/TELEMETRY.md):
+ *  - one Chrome "process" per job (pid = job index + 1, named after the
+ *    workload/config), with one thread per telemetry track;
+ *  - TraceEvent::Slice  -> ph "X" complete slices (icache-miss stalls);
+ *  - TraceEvent::Instant-> ph "i" thread-scoped instants (resteers, ...);
+ *  - TraceEvent::Counter-> ph "C" counter samples (IPC, MPKI, FTQ depth);
+ *  - prefetch lifecycles -> ph "b"/"e" async spans keyed by line address,
+ *    so overlapping in-flight prefetches render as separate arrows;
+ *  - a SimError recorded in the snapshot -> a final "sim_error" instant
+ *    whose args carry the error kind, component and Cpu::dumpState().
+ * Timestamps are microseconds in the file; we map 1 cycle = 1 us.
+ */
+
+#ifndef UDP_STATS_TRACEFILE_H
+#define UDP_STATS_TRACEFILE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/telemetry.h"
+
+namespace udp {
+
+/** One simulated run to render (name becomes the process label). */
+struct TraceJob
+{
+    std::string name;
+    std::shared_ptr<const TelemetrySnapshot> snap;
+};
+
+/** Renders the jobs as a Trace Event Format JSON string. */
+std::string chromeTraceJson(const std::vector<TraceJob>& jobs);
+
+/**
+ * Writes chromeTraceJson() to @p path (atomically via rename).
+ * Returns false on I/O failure.
+ */
+bool writeChromeTrace(const std::string& path,
+                      const std::vector<TraceJob>& jobs);
+
+} // namespace udp
+
+#endif // UDP_STATS_TRACEFILE_H

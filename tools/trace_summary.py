@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Print the paper's utility-taxonomy breakdown from telemetry artifacts.
+
+Reads the ".jsonl" file written next to a bench's --interval-stats CSV
+(rows tagged "row_type":"telemetry_summary"; see docs/TELEMETRY.md) and
+prints one row per (workload, config): issued prefetches per source, the
+Timely / Late / Unused / Polluting / Pending lifecycle split, and the
+derived accuracy / timeliness ratios with late-by percentiles — the same
+quantities as the paper's Table III / Fig. 4 discussion.
+
+Usage:
+    tools/trace_summary.py out/fig13.jsonl [more.jsonl ...]
+
+Only the standard library is used.
+"""
+
+import json
+import sys
+
+OUTCOMES = ("timely", "late", "unused", "polluting", "pending")
+SOURCES = ("fdip", "udp_extra", "eip", "stream")
+
+
+def load_summaries(paths):
+    """Yield telemetry_summary rows; tolerate a truncated final line."""
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # crash-safe artifacts may end mid-line
+                if row.get("row_type") == "telemetry_summary":
+                    yield row
+
+
+def pct(num, den):
+    return 100.0 * num / den if den else 0.0
+
+
+def fmt_row(cells, widths):
+    return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    rows = list(load_summaries(argv[1:]))
+    if not rows:
+        print("no telemetry_summary rows found (run a bench with "
+              "--interval-stats; see docs/TELEMETRY.md)", file=sys.stderr)
+        return 1
+
+    header = ["workload", "config", "issued"] + list(OUTCOMES) + [
+        "acc%", "timely%", "late_p50", "late_p90", "late_p99"]
+    table = [header]
+    for r in rows:
+        issued = int(r.get("pf_issued_total", 0))
+        counts = {o: int(r.get(f"pf_{o}_total", 0)) for o in OUTCOMES}
+        used = counts["timely"] + counts["late"]
+        table.append([
+            r.get("workload", "?"),
+            r.get("config", "?"),
+            issued,
+            *(counts[o] for o in OUTCOMES),
+            f"{pct(used, issued):.1f}",
+            f"{pct(counts['timely'], used):.1f}",
+            int(r.get("pf_late_by_p50", 0)),
+            int(r.get("pf_late_by_p90", 0)),
+            int(r.get("pf_late_by_p99", 0)),
+        ])
+
+    widths = [max(len(str(row[i])) for row in table)
+              for i in range(len(header))]
+    print(fmt_row(table[0], widths))
+    print("  ".join("-" * w for w in widths))
+    for row in table[1:]:
+        print(fmt_row(row, widths))
+
+    # Per-source issue mix, when any non-FDIP source contributed.
+    mixed = [r for r in rows
+             if any(int(r.get(f"pf_issued_{s}", 0)) for s in SOURCES[1:])]
+    if mixed:
+        print()
+        print("issue mix by source:")
+        for r in mixed:
+            parts = ", ".join(
+                f"{s}={int(r.get(f'pf_issued_{s}', 0))}" for s in SOURCES
+                if int(r.get(f"pf_issued_{s}", 0)))
+            print(f"  {r.get('workload', '?')}/{r.get('config', '?')}: "
+                  f"{parts}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
