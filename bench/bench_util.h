@@ -20,9 +20,13 @@
 #include <utility>
 #include <vector>
 
+#include <chrono>
+
 #include "sim/faultinject.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
+#include "sim/sweepd.h"
+#include "sim/workqueue.h"
 #include "stats/sink.h"
 #include "stats/table.h"
 #include "stats/tracefile.h"
@@ -89,6 +93,18 @@ struct SinkArgs
     std::string tracePath;         ///< --trace-out Chrome-trace destination
     std::uint64_t telemetryInterval = 0; ///< 0 = TelemetryConfig default
 
+    // --- distributed execution (docs/ROBUSTNESS.md §10) ----------------
+    /** --coordinator ENDPOINT: serve this bench's batch as a distributed
+     *  sweep ("tcp:HOST:PORT", port 0 = ephemeral, or a queue directory)
+     *  instead of running it in-process. Artifacts are written by this
+     *  process exactly as in local mode. */
+    std::string coordinator;
+    /** --worker-of ENDPOINT: run as a worker for a coordinator started
+     *  from the SAME bench binary with the SAME arguments/environment
+     *  (both sides must expand an identical job list). The process
+     *  exits when the sweep drains. */
+    std::string workerOf;
+
     /** Telemetry is on whenever any telemetry artifact was requested. */
     bool telemetryEnabled() const
     {
@@ -129,6 +145,10 @@ parseSinkArgs(int argc, char** argv,
             s.tracePath = argv[++i];
         } else if (a == "--telemetry-interval" && i + 1 < argc) {
             s.telemetryInterval = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--coordinator" && i + 1 < argc) {
+            s.coordinator = argv[++i];
+        } else if (a == "--worker-of" && i + 1 < argc) {
+            s.workerOf = argv[++i];
         } else if (positional != nullptr) {
             positional->push_back(std::move(a));
         }
@@ -246,11 +266,106 @@ applyTelemetry(std::vector<SweepJob>* jobs, const SinkArgs& args)
  * --resume replays completed points from the checkpoint manifest, and
  * SIGINT/SIGTERM drain in-flight points before exiting.
  */
+/** Shard-manifest directory paired with the checkpoint manifest. */
+inline std::string
+shardDirOf(const SinkArgs& args)
+{
+    std::string m = defaultManifestPath(args);
+    return m.empty() ? std::string() : m + ".shards";
+}
+
+/**
+ * --worker-of: the worker half of a distributed bench run. Claims jobs
+ * from the coordinator, executes them through the same per-job path as
+ * the in-process engine, and exits the process when the sweep drains
+ * (0), the queue is lost after flushing locally (3), or the endpoint
+ * cannot be opened (2). Never returns.
+ */
+[[noreturn]] inline void
+runBenchWorker(const std::vector<SweepJob>& jobs, const SinkArgs& args)
+{
+    std::string err;
+    std::unique_ptr<WorkQueue> q = openWorkQueue(args.workerOf, 5.0, &err);
+    if (q == nullptr) {
+        std::fprintf(stderr, "[bench] --worker-of %s: %s\n",
+                     args.workerOf.c_str(), err.c_str());
+        std::exit(2);
+    }
+    WorkerOptions wo;
+    wo.name = "w" + std::to_string(
+                        std::chrono::steady_clock::now()
+                            .time_since_epoch()
+                            .count() %
+                        1'000'000);
+    if (const char* n = std::getenv("UDP_WORKER_NAME")) {
+        wo.name = n;
+    }
+    wo.shardDir = shardDirOf(args);
+    wo.exec.dumpDir = kFailureDumpDir;
+    wo.exec.isolate = args.isolate;
+    if (args.isolate) {
+        wo.exec.memLimitBytes =
+            (args.memLimitMb == 0 ? 4096 : args.memLimitMb) << 20;
+        wo.exec.cpuLimitSec = args.cpuLimitSec;
+        wo.exec.wallLimitSec = args.wallLimitSec;
+    }
+    if (const char* d = std::getenv("UDP_WORKER_DELAY_MS")) {
+        wo.jobDelayMs =
+            static_cast<unsigned>(std::strtoul(d, nullptr, 10));
+    }
+    WorkerSummary s = runSweepWorker(*q, jobs, wo);
+    if (s.executed != 0 || s.flushedLocal != 0) {
+        std::fprintf(stderr,
+                     "[bench] worker %s: %zu executed, %zu recorded, "
+                     "%zu duplicate(s), %zu flushed locally\n",
+                     wo.name.c_str(), s.executed, s.completed,
+                     s.duplicates, s.flushedLocal);
+    }
+    std::exit(s.queueLost ? 3 : 0);
+}
+
+/** --coordinator: serve the batch to workers; returns ordered results. */
+inline std::vector<JobResult>
+runBenchCoordinated(std::vector<SweepJob> jobs, const SinkArgs& args)
+{
+    CoordinatorOptions co;
+    co.endpoint = args.coordinator;
+    co.manifestPath = defaultManifestPath(args);
+    co.resume = args.resume && !co.manifestPath.empty();
+    co.shardDir = shardDirOf(args);
+    if (const char* s = std::getenv("UDP_LEASE_SEC")) {
+        co.policy.leaseTtlSec = std::strtod(s, nullptr);
+    }
+    if (const char* s = std::getenv("UDP_MAX_ATTEMPTS")) {
+        co.policy.maxAttempts =
+            static_cast<unsigned>(std::strtoul(s, nullptr, 10));
+    }
+    SweepCoordinator coord(std::move(jobs), std::move(co));
+    std::string err;
+    if (!coord.start(&err)) {
+        std::fprintf(stderr, "[bench] --coordinator %s: %s\n",
+                     args.coordinator.c_str(), err.c_str());
+        std::exit(2);
+    }
+    std::fprintf(stderr,
+                 "[bench] coordinating %zu job(s) at %s (workers: re-run "
+                 "this binary with --worker-of %s)\n",
+                 coord.totalJobs(), coord.endpoint().c_str(),
+                 coord.endpoint().c_str());
+    return coord.run();
+}
+
 inline std::vector<JobResult>
 runBenchSweep(std::vector<SweepJob> jobs, const SinkArgs& args)
 {
     applyEnvFault(&jobs);
     applyTelemetry(&jobs, args);
+    if (!args.workerOf.empty()) {
+        runBenchWorker(jobs, args); // exits the process
+    }
+    if (!args.coordinator.empty()) {
+        return runBenchCoordinated(std::move(jobs), args);
+    }
     SweepOptions o;
     o.dumpDir = kFailureDumpDir;
     o.isolate = args.isolate;

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Simulation-speed harness: wall-clock throughput of the simulator
+ * itself — simulated instructions per host second and simulated cycles
+ * per host second — for every datacenter workload under the FDIP
+ * baseline and the UDP-8KB configuration. This is the number that
+ * gates sweep sizing (how many points fit in a CI budget), so it is
+ * recorded to a committed JSON snapshot for regression tracking.
+ *
+ * Usage: perf_simspeed [--out BENCH_simspeed.json] [--repeat N]
+ *
+ * Each (workload, config) point is run --repeat times (default 3) in
+ * this process, serially, after one untimed warmup run that populates
+ * the shared Program cache; the fastest repeat is reported, the usual
+ * way to suppress host scheduling noise.
+ */
+
+#include "bench_util.h"
+
+#include <chrono>
+#include <fstream>
+
+int
+main(int argc, char** argv)
+{
+    using namespace udp;
+    using namespace udp::bench;
+    using clock = std::chrono::steady_clock;
+
+    std::string outPath = "BENCH_simspeed.json";
+    unsigned repeat = 3;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (arg == "--repeat" && i + 1 < argc) {
+            repeat = static_cast<unsigned>(std::atoi(argv[++i]));
+            if (repeat == 0) {
+                repeat = 1;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--out PATH] [--repeat N]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    banner("Simulation speed",
+           "host throughput: simulated instrs/sec and cycles/sec");
+    RunOptions o = defaultOptions();
+
+    struct Point
+    {
+        std::string workload;
+        std::string config;
+        double instrPerSec = 0.0;
+        double cyclesPerSec = 0.0;
+        double hostSec = 0.0;
+    };
+    std::vector<Point> points;
+
+    Table t({"app", "config", "Minstr/s", "Mcycles/s", "host_ms"});
+    for (const Profile& p : datacenterProfiles()) {
+        const std::pair<const char*, SimConfig> configs[] = {
+            {"fdip32", presets::fdipBaseline()},
+            {"udp8k", presets::udp8k()},
+        };
+        for (const auto& [label, cfg] : configs) {
+            // Untimed warmup: builds the Program image and warms the
+            // host caches, so the timed repeats measure simulation only.
+            runSim(p, cfg, o, label);
+            double bestSec = 0.0;
+            Report r;
+            for (unsigned k = 0; k < repeat; ++k) {
+                clock::time_point t0 = clock::now();
+                r = runSim(p, cfg, o, label);
+                double sec =
+                    std::chrono::duration<double>(clock::now() - t0)
+                        .count();
+                if (k == 0 || sec < bestSec) {
+                    bestSec = sec;
+                }
+            }
+            Point pt;
+            pt.workload = p.name;
+            pt.config = label;
+            pt.hostSec = bestSec;
+            if (bestSec > 0.0) {
+                pt.instrPerSec =
+                    static_cast<double>(r.instructions) / bestSec;
+                pt.cyclesPerSec = static_cast<double>(r.cycles) / bestSec;
+            }
+            points.push_back(pt);
+
+            t.beginRow();
+            t.cell(pt.workload);
+            t.cell(pt.config);
+            t.cell(pt.instrPerSec / 1e6, 2);
+            t.cell(pt.cyclesPerSec / 1e6, 2);
+            t.cell(pt.hostSec * 1e3, 1);
+        }
+    }
+    std::printf("%s", t.toAscii().c_str());
+
+    // Snapshot. Host throughput is machine-dependent, so the committed
+    // file is a reference point, not a pass/fail gate.
+    std::ofstream out(outPath, std::ios::trunc);
+    if (!out.is_open()) {
+        std::fprintf(stderr, "[simspeed] cannot write %s\n",
+                     outPath.c_str());
+        return 1;
+    }
+    out << "{\n  \"bench\": \"perf_simspeed\",\n"
+        << "  \"warmup_instrs\": " << o.warmupInstrs << ",\n"
+        << "  \"measure_instrs\": " << o.measureInstrs << ",\n"
+        << "  \"repeat\": " << repeat << ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point& pt = points[i];
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"workload\": \"%s\", \"config\": \"%s\", "
+                      "\"instr_per_sec\": %.0f, \"cycles_per_sec\": %.0f, "
+                      "\"host_sec\": %.4f}%s\n",
+                      pt.workload.c_str(), pt.config.c_str(),
+                      pt.instrPerSec, pt.cyclesPerSec, pt.hostSec,
+                      i + 1 < points.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]\n}\n";
+    out.close();
+    std::printf("snapshot written to %s\n", outPath.c_str());
+    return 0;
+}

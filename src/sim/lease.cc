@@ -1,0 +1,277 @@
+#include "sim/lease.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace udp {
+
+namespace {
+
+/** FNV-1a over (hash, attempt): the deterministic jitter seed. */
+std::uint64_t
+jitterSeed(std::uint64_t hash, unsigned attempt)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 0x00000100000001B3ull;
+        }
+    };
+    mix(hash);
+    mix(attempt);
+    return h;
+}
+
+} // namespace
+
+double
+LeaseTable::backoffDelaySec(const LeasePolicy& policy, unsigned attempt,
+                            std::uint64_t hash)
+{
+    if (attempt <= 1) {
+        return 0.0;
+    }
+    double delay = policy.backoffBaseSec *
+                   std::ldexp(1.0, static_cast<int>(
+                                       std::min(attempt - 2, 62u)));
+    delay = std::min(delay, policy.backoffCapSec);
+    if (policy.backoffJitterFrac > 0.0) {
+        // Deterministic uniform [0, 1) from the top 53 bits of the seed.
+        double u = static_cast<double>(jitterSeed(hash, attempt) >> 11) *
+                   0x1.0p-53;
+        delay += policy.backoffJitterFrac * delay * u;
+    }
+    return delay;
+}
+
+LeaseTable::LeaseTable(std::vector<std::uint64_t> jobHashes,
+                       LeasePolicy pol)
+    : policy(pol)
+{
+    jobs.resize(jobHashes.size());
+    for (std::size_t i = 0; i < jobHashes.size(); ++i) {
+        jobs[i].hash = jobHashes[i];
+    }
+}
+
+void
+LeaseTable::markDone(std::size_t index)
+{
+    if (index >= jobs.size() || jobs[index].done || jobs[index].failed) {
+        return;
+    }
+    jobs[index].done = true;
+    ++doneJobs;
+}
+
+LeaseTable::Lease*
+LeaseTable::findLease(std::uint64_t token)
+{
+    auto it = leases.find(token);
+    return it == leases.end() ? nullptr : &it->second;
+}
+
+void
+LeaseTable::dropLease(JobState& job, std::uint64_t token)
+{
+    auto it = std::find(job.leases.begin(), job.leases.end(), token);
+    if (it != job.leases.end()) {
+        job.leases.erase(it);
+    }
+    if (Lease* l = findLease(token)) {
+        l->active = false;
+    }
+}
+
+void
+LeaseTable::settleAfterLostAttempt(double nowSec, JobState& job,
+                                   const std::string& kind)
+{
+    // Caller already dropped the lease; the attempt itself was charged
+    // when the claim was granted.
+    if (job.done || job.failed || !job.leases.empty()) {
+        return; // a duplicate lease is still running — let it finish
+    }
+    if (job.attemptsUsed >= policy.maxAttempts) {
+        job.failed = true;
+        job.errorKind = kind;
+        ++failedJobs;
+        return;
+    }
+    job.notBefore =
+        nowSec + backoffDelaySec(policy, job.attemptsUsed + 1, job.hash);
+}
+
+void
+LeaseTable::tick(double nowSec)
+{
+    for (auto& [token, l] : leases) {
+        if (!l.active || l.expiry > nowSec) {
+            continue;
+        }
+        JobState& job = jobs[l.index];
+        dropLease(job, token);
+        if (job.done || job.failed) {
+            continue;
+        }
+        settleAfterLostAttempt(nowSec, job, "worker_lost");
+    }
+}
+
+JobLease
+LeaseTable::grant(double nowSec, const std::string& worker,
+                  std::size_t index, unsigned attempt)
+{
+    Lease l;
+    l.token = nextToken++;
+    l.index = index;
+    l.worker = worker;
+    l.attempt = attempt;
+    l.grantedAt = nowSec;
+    l.expiry = nowSec + policy.leaseTtlSec;
+    l.active = true;
+    leases[l.token] = l;
+    jobs[index].leases.push_back(l.token);
+
+    JobLease out;
+    out.hash = jobs[index].hash;
+    out.index = index;
+    out.token = l.token;
+    out.attempt = attempt;
+    out.ttlSec = policy.leaseTtlSec;
+    return out;
+}
+
+ClaimOutcome
+LeaseTable::claim(double nowSec, const std::string& worker, JobLease* out)
+{
+    tick(nowSec);
+    if (drained()) {
+        return ClaimOutcome::Drained;
+    }
+
+    // Pending work first: no active lease, backoff window passed.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        JobState& job = jobs[i];
+        if (job.done || job.failed || !job.leases.empty() ||
+            job.notBefore > nowSec) {
+            continue;
+        }
+        ++job.attemptsUsed;
+        *out = grant(nowSec, worker, i, job.attemptsUsed);
+        return ClaimOutcome::Granted;
+    }
+
+    // Straggler re-dispatch: nothing pending — duplicate the oldest
+    // long-running lease (first completion will win; the loser's result
+    // is discarded idempotently).
+    bool anyPendingLater = false;
+    for (const JobState& job : jobs) {
+        if (!job.done && !job.failed && job.leases.empty()) {
+            anyPendingLater = true; // backing off; retry soon
+        }
+    }
+    if (!anyPendingLater && policy.maxDuplicates > 0) {
+        std::size_t bestIdx = jobs.size();
+        double bestGrantedAt = 0.0;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const JobState& job = jobs[i];
+            if (job.done || job.failed || job.leases.empty() ||
+                job.leases.size() > policy.maxDuplicates) {
+                continue;
+            }
+            const Lease* oldest = findLease(job.leases.front());
+            if (oldest == nullptr ||
+                nowSec - oldest->grantedAt < policy.stragglerAfterSec) {
+                continue;
+            }
+            if (bestIdx == jobs.size() ||
+                oldest->grantedAt < bestGrantedAt) {
+                bestIdx = i;
+                bestGrantedAt = oldest->grantedAt;
+            }
+        }
+        if (bestIdx != jobs.size()) {
+            const Lease* oldest = findLease(jobs[bestIdx].leases.front());
+            *out = grant(nowSec, worker, bestIdx,
+                         oldest != nullptr ? oldest->attempt : 1);
+            return ClaimOutcome::Granted;
+        }
+    }
+    return ClaimOutcome::NoWork;
+}
+
+bool
+LeaseTable::renew(double nowSec, std::uint64_t token)
+{
+    Lease* l = findLease(token);
+    if (l == nullptr || !l->active) {
+        return false;
+    }
+    l->expiry = nowSec + policy.leaseTtlSec;
+    return true;
+}
+
+LeaseTable::Push
+LeaseTable::push(double nowSec, std::uint64_t token, bool ok,
+                 const std::string& errorKind)
+{
+    Lease* l = findLease(token);
+    if (l == nullptr) {
+        return Push::Unknown;
+    }
+    JobState& job = jobs[l->index];
+    if (job.done || job.failed) {
+        dropLease(job, token);
+        return Push::Duplicate;
+    }
+    if (ok) {
+        // First completion wins; every lease on the job is settled.
+        job.done = true;
+        ++doneJobs;
+        for (std::uint64_t t : job.leases) {
+            if (Lease* other = findLease(t)) {
+                other->active = false;
+            }
+        }
+        job.leases.clear();
+        return Push::RecordedFinal;
+    }
+    // A failed execution. The attempt was charged at claim time; here
+    // the job is either requeued with backoff or finally failed.
+    dropLease(job, token);
+    settleAfterLostAttempt(nowSec, job,
+                           errorKind.empty() ? "exception" : errorKind);
+    return job.failed ? Push::RecordedFinal : Push::Requeued;
+}
+
+const std::string*
+LeaseTable::finalErrorKind(std::size_t index) const
+{
+    if (index >= jobs.size() || !jobs[index].failed) {
+        return nullptr;
+    }
+    return &jobs[index].errorKind;
+}
+
+unsigned
+LeaseTable::attemptsUsed(std::size_t index) const
+{
+    return index < jobs.size() ? jobs[index].attemptsUsed : 0;
+}
+
+std::size_t
+LeaseTable::activeLeases(std::size_t index) const
+{
+    return index < jobs.size() ? jobs[index].leases.size() : 0;
+}
+
+std::size_t
+LeaseTable::leaseIndex(std::uint64_t token) const
+{
+    auto it = leases.find(token);
+    return it == leases.end() ? npos : it->second.index;
+}
+
+} // namespace udp

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Lease-based distributed work-queue state machine (docs/ROBUSTNESS.md
+ * §10). A sweep's jobs — identified by their deterministic FNV-1a hash
+ * (sim/manifest.h) — are handed to workers as time-limited leases:
+ *
+ *   pending --claim--> leased --complete--> done
+ *      ^                  |  \--fail-------> pending (backoff) | failed
+ *      \---expiry/reclaim-/
+ *
+ * Policies implemented here and shared by both transports
+ * (sim/workqueue.h):
+ *   - lease expiry + reclaim: a worker that stops heartbeating loses its
+ *     lease and the job is re-issued;
+ *   - bounded retries with exponential backoff + deterministic jitter
+ *     (seeded by the job hash, so the schedule is reproducible);
+ *   - straggler re-dispatch: once no pending work remains, long-running
+ *     leases are duplicated to idle workers — safe because jobs are
+ *     deterministic — and the first completion wins;
+ *   - idempotent completion: duplicate results (from stragglers or
+ *     expired-then-finished workers) are recorded once and the rest
+ *     discarded.
+ *
+ * LeaseTable is a pure, single-threaded state machine: time is injected
+ * by the caller (testable without sleeping) and no I/O happens here. The
+ * TCP coordinator drives it directly; the filesystem backend implements
+ * the same transitions with atomic directory operations.
+ */
+
+#ifndef UDP_SIM_LEASE_H
+#define UDP_SIM_LEASE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace udp {
+
+/** One granted lease: the worker-side handle for a claimed job. */
+struct JobLease
+{
+    /** sweepJobHash() of the job — the idempotency key. */
+    std::uint64_t hash = 0;
+    /** Job index within the shared, deterministically expanded batch. */
+    std::size_t index = 0;
+    /** Unique lease token; renew/complete/fail refer to this. */
+    std::uint64_t token = 0;
+    /** 1-based attempt number this execution represents. */
+    unsigned attempt = 1;
+    /** Granted time-to-live; the worker heartbeats well within it. */
+    double ttlSec = 30.0;
+};
+
+/** Queue policy knobs shared by every transport. */
+struct LeasePolicy
+{
+    /** Lease time-to-live; a worker silent for this long is presumed
+     *  dead and its lease reclaimed. */
+    double leaseTtlSec = 30.0;
+    /** Total execution attempts per job — each one ending in a failed
+     *  push or an expired lease — before the job is recorded as a final
+     *  failure. */
+    unsigned maxAttempts = 3;
+    /** Retry backoff: delay before attempt k+1 is
+     *  min(cap, base * 2^(k-1)) plus jitter. */
+    double backoffBaseSec = 0.5;
+    double backoffCapSec = 30.0;
+    /** Deterministic jitter: uniform in [0, frac * delay), seeded by
+     *  (job hash, attempt) so the schedule is reproducible. */
+    double backoffJitterFrac = 0.25;
+    /** Straggler re-dispatch: once nothing is pending, a lease older
+     *  than this is eligible for a duplicate issue. */
+    double stragglerAfterSec = 10.0;
+    /** Extra concurrent leases allowed per job near the tail. */
+    unsigned maxDuplicates = 1;
+    /** Client retry hint when no work is currently claimable. */
+    double noWorkRetrySec = 0.2;
+};
+
+/** Outcome of a claim attempt. */
+enum class ClaimOutcome
+{
+    Granted, ///< lease issued
+    NoWork,  ///< nothing claimable right now (backoff window / all leased)
+    Drained, ///< every job is done or finally failed
+    Lost,    ///< transport only: coordinator unreachable
+};
+
+/**
+ * Coordinator-side authoritative queue state. Not synchronized; the
+ * owner serializes access (the TCP coordinator is single-threaded).
+ */
+class LeaseTable
+{
+  public:
+    /** States a job can settle in. */
+    enum class Push
+    {
+        RecordedFinal, ///< result accepted: job done, or failed for good
+        Requeued,      ///< failure noted; job will be retried
+        Duplicate,     ///< job already done — result discarded (idempotent)
+        Unknown,       ///< token never existed
+    };
+
+    LeaseTable(std::vector<std::uint64_t> jobHashes, LeasePolicy policy);
+
+    /** Marks @p index done before serving (checkpoint-manifest resume). */
+    void markDone(std::size_t index);
+
+    /**
+     * Expires overdue leases (charging one attempt each) and either
+     * requeues their jobs with backoff or — attempts exhausted with no
+     * surviving duplicate lease — records a final "worker_lost" failure.
+     * claim() runs this implicitly; coordinators also call it on their
+     * poll tick so drain is detected without claim traffic.
+     */
+    void tick(double nowSec);
+
+    /**
+     * Tries to issue a lease: first a pending job whose backoff window
+     * has passed, then — with no pending work left — a straggler
+     * duplicate (see LeasePolicy). @p out is filled on Granted.
+     */
+    ClaimOutcome claim(double nowSec, const std::string& worker,
+                       JobLease* out);
+
+    /** Heartbeat: extends the lease to now + ttl. False if the token is
+     *  unknown or the lease was already reclaimed. */
+    bool renew(double nowSec, std::uint64_t token);
+
+    /**
+     * Delivers a result for @p token. ok=true: first completion wins,
+     * later ones return Duplicate. ok=false: the job is requeued with
+     * backoff, or finally failed with @p errorKind once its claim-time
+     * attempts are exhausted (and no duplicate lease is still running). A token whose lease already expired is still
+     * honored — the work is deterministic, so a late result is as good
+     * as any.
+     */
+    Push push(double nowSec, std::uint64_t token, bool ok,
+              const std::string& errorKind);
+
+    /** True once every job is done or finally failed. */
+    bool drained() const { return doneJobs + failedJobs == jobs.size(); }
+
+    std::size_t totalJobs() const { return jobs.size(); }
+    std::size_t doneCount() const { return doneJobs; }
+    std::size_t failedCount() const { return failedJobs; }
+
+    /** Final error kind of a failed job, or nullptr (done/in progress). */
+    const std::string* finalErrorKind(std::size_t index) const;
+
+    /** Execution attempts charged so far: one per granted claim
+     *  (straggler duplicates ride the original attempt for free). */
+    unsigned attemptsUsed(std::size_t index) const;
+
+    /** Currently active leases on a job (>1 only for stragglers). */
+    std::size_t activeLeases(std::size_t index) const;
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /** Index of the job @p token was issued for (active or settled), or
+     *  npos for a token that never existed. Lets the coordinator verify
+     *  a pushed result's hash against the job the token actually leases
+     *  before recording it. */
+    std::size_t leaseIndex(std::uint64_t token) const;
+
+    const LeasePolicy& policyRef() const { return policy; }
+
+    /**
+     * Backoff before attempt @p attempt (>= 2) of the job hashed
+     * @p hash: min(cap, base * 2^(attempt-2)) plus deterministic jitter
+     * in [0, jitterFrac * delay). Attempt 1 has no delay.
+     */
+    static double backoffDelaySec(const LeasePolicy& policy,
+                                  unsigned attempt, std::uint64_t hash);
+
+  private:
+    struct Lease
+    {
+        std::uint64_t token = 0;
+        std::size_t index = 0;
+        std::string worker;
+        unsigned attempt = 1;
+        double grantedAt = 0.0;
+        double expiry = 0.0;
+        bool active = false; ///< false once expired/settled (token kept)
+    };
+
+    struct JobState
+    {
+        std::uint64_t hash = 0;
+        bool done = false;
+        bool failed = false;
+        std::string errorKind;
+        unsigned attemptsUsed = 0;
+        double notBefore = 0.0; ///< backoff gate for the next claim
+        std::vector<std::uint64_t> leases; ///< active lease tokens
+    };
+
+    Lease* findLease(std::uint64_t token);
+    void dropLease(JobState& job, std::uint64_t token);
+    void settleAfterLostAttempt(double nowSec, JobState& job,
+                                const std::string& kind);
+    JobLease grant(double nowSec, const std::string& worker,
+                   std::size_t index, unsigned attempt);
+
+    LeasePolicy policy;
+    std::vector<JobState> jobs;
+    std::unordered_map<std::uint64_t, Lease> leases; ///< token -> lease
+    std::uint64_t nextToken = 1;
+    std::size_t doneJobs = 0;
+    std::size_t failedJobs = 0;
+};
+
+} // namespace udp
+
+#endif // UDP_SIM_LEASE_H

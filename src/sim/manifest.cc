@@ -244,6 +244,38 @@ manifestEntryFromJsonLine(const std::string& line, ManifestEntry* out)
 }
 
 bool
+manifestEntryIsConsistent(const ManifestEntry& e)
+{
+    if (!e.ok) {
+        return true;
+    }
+    Report r;
+    if (!reportFromJsonLine(e.reportJson, &r)) {
+        return false;
+    }
+    if (r.workload != e.workload || r.configName != e.label) {
+        return false;
+    }
+    return reportToJsonLine(r) == e.reportJson;
+}
+
+std::vector<ManifestEntry>
+readManifestFile(const std::string& path)
+{
+    std::vector<ManifestEntry> out;
+    std::ifstream in(path);
+    std::string line;
+    while (in.is_open() && std::getline(in, line)) {
+        ManifestEntry e;
+        if (manifestEntryFromJsonLine(line, &e) &&
+            manifestEntryIsConsistent(e)) {
+            out.push_back(std::move(e));
+        }
+    }
+    return out;
+}
+
+bool
 SweepManifest::open(const std::string& path, bool resume)
 {
     entries.clear();
@@ -253,8 +285,9 @@ SweepManifest::open(const std::string& path, bool resume)
         std::string line;
         while (in.is_open() && std::getline(in, line)) {
             ManifestEntry e;
-            if (!manifestEntryFromJsonLine(line, &e)) {
-                continue; // malformed or truncated-by-crash line
+            if (!manifestEntryFromJsonLine(line, &e) ||
+                !manifestEntryIsConsistent(e)) {
+                continue; // malformed, truncated, or spliced line
             }
             entries[e.hash] = std::move(e); // latest record wins
         }

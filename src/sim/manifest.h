@@ -20,6 +20,7 @@
 #include <fstream>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/sweep.h"
 
@@ -92,6 +93,27 @@ std::string manifestEntryToJsonLine(const ManifestEntry& e);
 
 /** Parses one manifest line; returns false on malformed input. */
 bool manifestEntryFromJsonLine(const std::string& line, ManifestEntry* out);
+
+/**
+ * Deep consistency check for a parsed entry. Failed entries are always
+ * consistent; an ok entry must hold a report that (a) round-trips
+ * byte-exactly through reportFromJsonLine/reportToJsonLine and (b)
+ * carries the entry's own workload and config label. This rejects the
+ * one corruption a line-level parser cannot: two writers interleaving
+ * on the same file can splice a line that *parses* — one record's
+ * prefix (hash, workload) joined to another's report — and without this
+ * check such a line would resurrect the wrong Report under a valid
+ * hash on resume.
+ */
+bool manifestEntryIsConsistent(const ManifestEntry& e);
+
+/**
+ * Loads every consistent entry of a manifest/shard file, in file order
+ * (later duplicates of a hash are NOT collapsed; callers merging shards
+ * dedupe by hash). Malformed, truncated, and inconsistent lines are
+ * skipped; a missing file yields an empty vector.
+ */
+std::vector<ManifestEntry> readManifestFile(const std::string& path);
 
 } // namespace udp
 

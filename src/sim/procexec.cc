@@ -17,6 +17,7 @@
 
 #include "sim/runner.h"
 #include "sim/simerror.h"
+#include "sim/wire.h"
 #include "stats/sink.h"
 
 // Sanitizers reserve terabytes of virtual address space for shadow
@@ -71,81 +72,20 @@ using Clock = std::chrono::steady_clock;
 // --- pipe protocol ---------------------------------------------------------
 //
 // One message per child: magic, status byte ('R' report / 'E' error),
-// then length-prefixed fields. The parent treats anything that does not
-// parse exactly as a protocol failure.
+// then length-prefixed fields encoded with the shared wire primitives
+// (sim/wire.h). The parent treats anything that does not parse exactly
+// as a protocol failure.
+
+using wire::appendStr;
+using wire::appendU32;
+using wire::appendU64;
+using wire::readStr;
+using wire::readU32;
+using wire::readU64;
 
 constexpr std::uint32_t kMagic = 0x55445031; // "UDP1"
 constexpr char kStatusReport = 'R';
 constexpr char kStatusError = 'E';
-
-void
-appendU32(std::string* buf, std::uint32_t v)
-{
-    for (int i = 0; i < 4; ++i) {
-        buf->push_back(static_cast<char>(v >> (8 * i)));
-    }
-}
-
-void
-appendU64(std::string* buf, std::uint64_t v)
-{
-    for (int i = 0; i < 8; ++i) {
-        buf->push_back(static_cast<char>(v >> (8 * i)));
-    }
-}
-
-void
-appendStr(std::string* buf, const std::string& s)
-{
-    appendU32(buf, static_cast<std::uint32_t>(s.size()));
-    buf->append(s);
-}
-
-bool
-readU32(const std::string& buf, std::size_t* pos, std::uint32_t* out)
-{
-    if (*pos + 4 > buf.size()) {
-        return false;
-    }
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-        v |= static_cast<std::uint32_t>(
-                 static_cast<unsigned char>(buf[*pos + i]))
-             << (8 * i);
-    }
-    *pos += 4;
-    *out = v;
-    return true;
-}
-
-bool
-readU64(const std::string& buf, std::size_t* pos, std::uint64_t* out)
-{
-    if (*pos + 8 > buf.size()) {
-        return false;
-    }
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-        v |= static_cast<std::uint64_t>(
-                 static_cast<unsigned char>(buf[*pos + i]))
-             << (8 * i);
-    }
-    *pos += 8;
-    *out = v;
-    return true;
-}
-
-bool
-readStr(const std::string& buf, std::size_t* pos, std::string* out)
-{
-    std::uint32_t len = 0;
-    if (!readU32(buf, pos, &len) || *pos + len > buf.size()) {
-        return false;
-    }
-    out->assign(buf, *pos, len);
-    *pos += len;
-    return true;
-}
 
 bool
 writeAll(int fd, const char* data, std::size_t n)
@@ -314,6 +254,7 @@ decodePayload(const std::string& buf, JobResult* jr)
 JobResult
 runJobIsolated(const SweepJob& job, const ProcLimits& limits)
 {
+    wire::installSigpipeIgnore();
     JobResult jr;
     int res_pipe[2];
     int err_pipe[2];
@@ -361,6 +302,10 @@ runJobIsolated(const SweepJob& job, const ProcLimits& limits)
         }
         std::signal(SIGINT, SIG_IGN);
         std::signal(SIGTERM, SIG_IGN);
+        // If the parent dies first, writing the result must fail with
+        // EPIPE (classified "exit") instead of SIGPIPE killing us with
+        // no classification at all.
+        wire::installSigpipeIgnore();
         applyChildLimits(limits);
         childRun(job, res_pipe[1]); // noreturn
     }

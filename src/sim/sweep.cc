@@ -147,6 +147,62 @@ class SignalGuard
 
 } // namespace
 
+JobResult
+runJobChecked(const SweepJob& jobIn, std::size_t index,
+              const JobExecOptions& opts)
+{
+    JobResult jr;
+    SweepJob job = jobIn; // local copy: the budget edit is per execution
+    if (opts.jobCycleBudget != 0 && job.config.watchdog.maxCycles == 0) {
+        job.config.watchdog.maxCycles = opts.jobCycleBudget;
+    }
+    const bool isolate = opts.isolate && procIsolationSupported();
+    const unsigned maxAttempts = opts.maxAttempts == 0 ? 1 : opts.maxAttempts;
+
+    for (unsigned attempt = 1; attempt <= maxAttempts && !jr.ok; ++attempt) {
+        jr.attempts = attempt;
+        if (isolate) {
+            ProcLimits limits;
+            limits.memLimitBytes = opts.memLimitBytes;
+            limits.cpuLimitSec = opts.cpuLimitSec;
+            limits.wallLimitSec = opts.wallLimitSec;
+            JobResult sub = runJobIsolated(job, limits);
+            jr.ok = sub.ok;
+            jr.report = std::move(sub.report);
+            jr.error = std::move(sub.error);
+            continue;
+        }
+        try {
+            jr.report = runSim(job.profile, job.config, job.opts, job.label);
+            jr.ok = true;
+        } catch (const SimError& e) {
+            jr.error = JobError{};
+            jr.error.kind = e.kindName();
+            jr.error.component = e.component();
+            jr.error.message = e.what();
+            jr.error.dump = e.dump();
+            jr.error.cycle = e.cycle();
+            jr.exception = std::current_exception();
+        } catch (const std::exception& e) {
+            jr.error = JobError{};
+            jr.error.kind = "exception";
+            jr.error.message = e.what();
+            jr.exception = std::current_exception();
+        } catch (...) {
+            jr.error = JobError{};
+            jr.error.kind = "exception";
+            jr.error.message = "unknown exception";
+            jr.exception = std::current_exception();
+        }
+    }
+
+    if (!jr.ok && !opts.dumpDir.empty()) {
+        jr.error.dumpPath =
+            writeFailureDump(opts.dumpDir, job.label, index, jr.error);
+    }
+    return jr;
+}
+
 bool
 sweepStopRequested()
 {
@@ -204,6 +260,12 @@ SweepRunner::runChecked(const std::vector<SweepJob>& jobs) const
             for (std::size_t i = 0; i < jobs.size(); ++i) {
                 const ManifestEntry* e = manifest.findCompleted(hashes[i]);
                 if (e == nullptr) {
+                    continue;
+                }
+                if (e->workload != jobs[i].profile.name ||
+                    e->label != jobs[i].label) {
+                    // A spliced line can bind a valid hash to another
+                    // record's fields; never replay it — re-run instead.
                     continue;
                 }
                 Report r;
@@ -314,54 +376,15 @@ SweepRunner::runChecked(const std::vector<SweepJob>& jobs) const
             return;
         }
 
-        SweepJob job = jobs[i]; // per-worker copy: the budget is per batch
-        if (opts.jobCycleBudget != 0 && job.config.watchdog.maxCycles == 0) {
-            job.config.watchdog.maxCycles = opts.jobCycleBudget;
-        }
-
-        for (unsigned attempt = 1; attempt <= max_attempts && !jr.ok;
-             ++attempt) {
-            jr.attempts = attempt;
-            if (isolate) {
-                ProcLimits limits;
-                limits.memLimitBytes = opts.memLimitBytes;
-                limits.cpuLimitSec = opts.cpuLimitSec;
-                limits.wallLimitSec = opts.wallLimitSec;
-                JobResult sub = runJobIsolated(job, limits);
-                jr.ok = sub.ok;
-                jr.report = std::move(sub.report);
-                jr.error = std::move(sub.error);
-                continue;
-            }
-            try {
-                jr.report =
-                    runSim(job.profile, job.config, job.opts, job.label);
-                jr.ok = true;
-            } catch (const SimError& e) {
-                jr.error = JobError{};
-                jr.error.kind = e.kindName();
-                jr.error.component = e.component();
-                jr.error.message = e.what();
-                jr.error.dump = e.dump();
-                jr.error.cycle = e.cycle();
-                jr.exception = std::current_exception();
-            } catch (const std::exception& e) {
-                jr.error = JobError{};
-                jr.error.kind = "exception";
-                jr.error.message = e.what();
-                jr.exception = std::current_exception();
-            } catch (...) {
-                jr.error = JobError{};
-                jr.error.kind = "exception";
-                jr.error.message = "unknown exception";
-                jr.exception = std::current_exception();
-            }
-        }
-
-        if (!jr.ok && !opts.dumpDir.empty()) {
-            jr.error.dumpPath =
-                writeFailureDump(opts.dumpDir, job.label, i, jr.error);
-        }
+        JobExecOptions eo;
+        eo.maxAttempts = max_attempts;
+        eo.jobCycleBudget = opts.jobCycleBudget;
+        eo.dumpDir = opts.dumpDir;
+        eo.isolate = isolate;
+        eo.memLimitBytes = opts.memLimitBytes;
+        eo.cpuLimitSec = opts.cpuLimitSec;
+        eo.wallLimitSec = opts.wallLimitSec;
+        jr = runJobChecked(jobs[i], i, eo);
 
         // A failed job still counts as done: progress always reaches
         // total and the ETA is computed from every finished job.
@@ -374,8 +397,8 @@ SweepRunner::runChecked(const std::vector<SweepJob>& jobs) const
             ManifestEntry e;
             e.hash = hashes[i];
             e.index = i;
-            e.workload = job.profile.name;
-            e.label = job.label;
+            e.workload = jobs[i].profile.name;
+            e.label = jobs[i].label;
             e.ok = jr.ok;
             if (jr.ok) {
                 e.reportJson = reportToJsonLine(jr.report);

@@ -1,0 +1,1809 @@
+#include "sim/workqueue.h"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#include "sim/wire.h"
+#include "stats/sink.h"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace udp {
+
+namespace {
+
+using wire::appendStr;
+using wire::appendU32;
+using wire::appendU64;
+using wire::readStr;
+using wire::readU32;
+using wire::readU64;
+
+double
+nowMonotonicSec()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Wall-clock ms since epoch: comparable across queue participants. */
+std::uint64_t
+nowWallMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+bool
+hex16To(const std::string& s, std::uint64_t* out)
+{
+    if (s.size() != 16) {
+        return false;
+    }
+    std::uint64_t v = 0;
+    for (char c : s) {
+        v <<= 4;
+        if (c >= '0' && c <= '9') {
+            v |= static_cast<std::uint64_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+            v |= static_cast<std::uint64_t>(c - 'a' + 10);
+        } else {
+            return false;
+        }
+    }
+    *out = v;
+    return true;
+}
+
+/** Minimal order-free field extraction (same shape as sim/manifest.cc). */
+bool
+extractString(const std::string& line, const std::string& key,
+              std::string* out)
+{
+    std::string needle = "\"" + key + "\":\"";
+    std::size_t pos = line.find(needle);
+    if (pos == std::string::npos) {
+        return false;
+    }
+    pos += needle.size();
+    std::string raw;
+    while (pos < line.size() && line[pos] != '"') {
+        if (line[pos] == '\\' && pos + 1 < line.size()) {
+            raw += line[pos++];
+        }
+        raw += line[pos++];
+    }
+    if (pos >= line.size()) {
+        return false;
+    }
+    return jsonUnescape(raw, out);
+}
+
+bool
+extractU64(const std::string& line, const std::string& key,
+           std::uint64_t* out)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t pos = line.find(needle);
+    if (pos == std::string::npos) {
+        return false;
+    }
+    pos += needle.size();
+    std::uint64_t v = 0;
+    bool any = false;
+    while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+        v = v * 10 + static_cast<std::uint64_t>(line[pos++] - '0');
+        any = true;
+    }
+    if (!any) {
+        return false;
+    }
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+QueueEndpoint
+parseQueueEndpoint(const std::string& endpoint)
+{
+    QueueEndpoint ep;
+    if (endpoint.rfind("tcp:", 0) != 0) {
+        ep.dir = endpoint;
+        return ep;
+    }
+    ep.tcp = true;
+    std::string rest = endpoint.substr(4);
+    std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+        ep.host = "127.0.0.1";
+        ep.port = std::atoi(rest.c_str());
+    } else {
+        ep.host = rest.substr(0, colon);
+        if (ep.host.empty()) {
+            ep.host = "127.0.0.1";
+        }
+        ep.port = std::atoi(rest.c_str() + colon + 1);
+    }
+    return ep;
+}
+
+#ifdef _WIN32
+
+// Distributed sweeps need POSIX directory/socket primitives; on other
+// platforms every operation reports the queue as unreachable.
+
+struct FsWorkQueue::Impl
+{
+};
+FsWorkQueue::FsWorkQueue(std::string, double) {}
+bool
+FsWorkQueue::seed(const std::vector<ManifestEntry>&, const std::string&,
+                  const LeasePolicy&, std::string* err)
+{
+    *err = "distributed sweeps are not supported on this platform";
+    return false;
+}
+void
+FsWorkQueue::reclaimExpired()
+{
+}
+bool
+FsWorkQueue::injectDone(const ManifestEntry&)
+{
+    return false;
+}
+std::size_t
+FsWorkQueue::doneCount()
+{
+    return 0;
+}
+std::vector<ManifestEntry>
+FsWorkQueue::collectDone()
+{
+    return {};
+}
+bool
+FsWorkQueue::connect(std::string* err)
+{
+    *err = "distributed sweeps are not supported on this platform";
+    return false;
+}
+std::string
+FsWorkQueue::specJson()
+{
+    return "";
+}
+std::size_t
+FsWorkQueue::totalJobs()
+{
+    return 0;
+}
+ClaimOutcome
+FsWorkQueue::claim(const std::string&, JobLease*)
+{
+    return ClaimOutcome::Lost;
+}
+bool
+FsWorkQueue::renew(const JobLease&)
+{
+    return false;
+}
+PushOutcome
+FsWorkQueue::push(const JobLease&, const ManifestEntry&)
+{
+    return PushOutcome::Lost;
+}
+double
+FsWorkQueue::noWorkRetrySec()
+{
+    return 0.2;
+}
+
+struct TcpWorkQueue::Impl
+{
+};
+TcpWorkQueue::TcpWorkQueue(std::string, int, double) {}
+TcpWorkQueue::~TcpWorkQueue() = default;
+bool
+TcpWorkQueue::connect(std::string* err)
+{
+    *err = "distributed sweeps are not supported on this platform";
+    return false;
+}
+std::string
+TcpWorkQueue::specJson()
+{
+    return "";
+}
+std::size_t
+TcpWorkQueue::totalJobs()
+{
+    return 0;
+}
+ClaimOutcome
+TcpWorkQueue::claim(const std::string&, JobLease*)
+{
+    return ClaimOutcome::Lost;
+}
+bool
+TcpWorkQueue::renew(const JobLease&)
+{
+    return false;
+}
+PushOutcome
+TcpWorkQueue::push(const JobLease&, const ManifestEntry&)
+{
+    return PushOutcome::Lost;
+}
+double
+TcpWorkQueue::noWorkRetrySec()
+{
+    return 0.2;
+}
+
+struct TcpQueueServer::Impl
+{
+};
+TcpQueueServer::TcpQueueServer() = default;
+TcpQueueServer::~TcpQueueServer() = default;
+bool
+TcpQueueServer::listen(const std::string&, int, Handlers, std::string* err)
+{
+    *err = "distributed sweeps are not supported on this platform";
+    return false;
+}
+int
+TcpQueueServer::port() const
+{
+    return 0;
+}
+void
+TcpQueueServer::poll(double)
+{
+}
+void
+TcpQueueServer::close()
+{
+}
+
+#else // POSIX
+
+namespace {
+
+// --- filesystem primitives -------------------------------------------------
+
+bool
+ensureDir(const std::string& path)
+{
+    if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST) {
+        return true;
+    }
+    return false;
+}
+
+void
+fsyncDir(const std::string& path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+bool
+readWholeFile(const std::string& path, std::string* out)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        return false;
+    }
+    out->clear();
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+        out->append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return n == 0;
+}
+
+/** Writes @p content to @p tmpPath (fsync'd), then renames over
+ *  @p finalPath. The rename is atomic; readers never see a torn file. */
+bool
+writeFileAtomic(const std::string& tmpPath, const std::string& finalPath,
+                const std::string& content)
+{
+    int fd = ::open(tmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+    if (fd < 0) {
+        return false;
+    }
+    std::size_t off = 0;
+    while (off < content.size()) {
+        ssize_t w = ::write(fd, content.data() + off, content.size() - off);
+        if (w < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            ::close(fd);
+            ::unlink(tmpPath.c_str());
+            return false;
+        }
+        off += static_cast<std::size_t>(w);
+    }
+    ::fsync(fd);
+    ::close(fd);
+    if (::rename(tmpPath.c_str(), finalPath.c_str()) != 0) {
+        ::unlink(tmpPath.c_str());
+        return false;
+    }
+    return true;
+}
+
+/**
+ * First-completion-wins publication: link(2) @p tmpPath to @p finalPath.
+ * Exactly one publisher succeeds; the rest see EEXIST.
+ */
+enum class LinkResult
+{
+    Linked,
+    Exists,
+    Error
+};
+
+LinkResult
+publishFirstWins(const std::string& tmpPath, const std::string& finalPath)
+{
+    if (::link(tmpPath.c_str(), finalPath.c_str()) == 0) {
+        ::unlink(tmpPath.c_str());
+        return LinkResult::Linked;
+    }
+    int e = errno;
+    ::unlink(tmpPath.c_str());
+    return e == EEXIST ? LinkResult::Exists : LinkResult::Error;
+}
+
+std::vector<std::string>
+listDir(const std::string& path)
+{
+    std::vector<std::string> names;
+    DIR* d = ::opendir(path.c_str());
+    if (d == nullptr) {
+        return names;
+    }
+    while (struct dirent* e = ::readdir(d)) {
+        if (e->d_name[0] == '.') {
+            continue;
+        }
+        names.emplace_back(e->d_name);
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+bool
+fileExists(const std::string& path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+// --- queue file formats ----------------------------------------------------
+
+/** A claimable ticket / an active lease (supersets share one parser). */
+struct TicketInfo
+{
+    std::uint64_t hash = 0;
+    std::uint64_t index = 0;
+    unsigned attempt = 1;
+    std::uint64_t notBeforeMs = 0;
+    std::string workload;
+    std::string label;
+    // lease-only fields
+    std::string worker;
+    std::uint64_t token = 0;
+    std::uint64_t expiryMs = 0;
+};
+
+std::string
+ticketJson(const TicketInfo& t)
+{
+    std::string out = "{\"hash\":\"" + hex16(t.hash) +
+                      "\",\"index\":" + std::to_string(t.index) +
+                      ",\"attempt\":" + std::to_string(t.attempt) +
+                      ",\"not_before_ms\":" + std::to_string(t.notBeforeMs) +
+                      ",\"workload\":\"" + jsonEscape(t.workload) +
+                      "\",\"config\":\"" + jsonEscape(t.label) + "\"";
+    if (t.token != 0) {
+        out += ",\"worker\":\"" + jsonEscape(t.worker) + "\",\"token\":\"" +
+               hex16(t.token) +
+               "\",\"expiry_ms\":" + std::to_string(t.expiryMs);
+    }
+    out += '}';
+    return out;
+}
+
+bool
+parseTicket(const std::string& json, TicketInfo* out)
+{
+    TicketInfo t;
+    std::string hashHex;
+    if (!extractString(json, "hash", &hashHex) ||
+        !hex16To(hashHex, &t.hash) ||
+        !extractU64(json, "index", &t.index) ||
+        !extractString(json, "workload", &t.workload) ||
+        !extractString(json, "config", &t.label)) {
+        return false;
+    }
+    std::uint64_t attempt = 1;
+    extractU64(json, "attempt", &attempt);
+    t.attempt = static_cast<unsigned>(attempt);
+    extractU64(json, "not_before_ms", &t.notBeforeMs);
+    std::string tokenHex;
+    if (extractString(json, "token", &tokenHex)) {
+        hex16To(tokenHex, &t.token);
+        extractString(json, "worker", &t.worker);
+        extractU64(json, "expiry_ms", &t.expiryMs);
+    }
+    *out = std::move(t);
+    return true;
+}
+
+std::string
+queueMetaJson(std::size_t total, const LeasePolicy& p)
+{
+    auto ms = [](double sec) {
+        return std::to_string(
+            static_cast<std::uint64_t>(sec * 1000.0 + 0.5));
+    };
+    return "{\"total\":" + std::to_string(total) +
+           ",\"lease_ttl_ms\":" + ms(p.leaseTtlSec) +
+           ",\"max_attempts\":" + std::to_string(p.maxAttempts) +
+           ",\"backoff_base_ms\":" + ms(p.backoffBaseSec) +
+           ",\"backoff_cap_ms\":" + ms(p.backoffCapSec) +
+           ",\"backoff_jitter_millifrac\":" +
+           std::to_string(static_cast<std::uint64_t>(
+               p.backoffJitterFrac * 1000.0 + 0.5)) +
+           ",\"straggler_after_ms\":" + ms(p.stragglerAfterSec) +
+           ",\"max_duplicates\":" + std::to_string(p.maxDuplicates) +
+           ",\"no_work_retry_ms\":" + ms(p.noWorkRetrySec) + "}";
+}
+
+bool
+parseQueueMeta(const std::string& json, std::size_t* total, LeasePolicy* p)
+{
+    std::uint64_t v = 0;
+    if (!extractU64(json, "total", &v)) {
+        return false;
+    }
+    *total = v;
+    auto sec = [&](const char* key, double* out) {
+        std::uint64_t msv = 0;
+        if (extractU64(json, key, &msv)) {
+            *out = static_cast<double>(msv) / 1000.0;
+        }
+    };
+    sec("lease_ttl_ms", &p->leaseTtlSec);
+    if (extractU64(json, "max_attempts", &v)) {
+        p->maxAttempts = static_cast<unsigned>(v);
+    }
+    sec("backoff_base_ms", &p->backoffBaseSec);
+    sec("backoff_cap_ms", &p->backoffCapSec);
+    if (extractU64(json, "backoff_jitter_millifrac", &v)) {
+        p->backoffJitterFrac = static_cast<double>(v) / 1000.0;
+    }
+    sec("straggler_after_ms", &p->stragglerAfterSec);
+    if (extractU64(json, "max_duplicates", &v)) {
+        p->maxDuplicates = static_cast<unsigned>(v);
+    }
+    sec("no_work_retry_ms", &p->noWorkRetrySec);
+    return true;
+}
+
+std::uint64_t
+processUniqueToken()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    std::uint64_t c = counter.fetch_add(1);
+    std::uint64_t pid = static_cast<std::uint64_t>(::getpid());
+    // Mixed so tokens are unique across hosts sharing a filesystem with
+    // overwhelming probability (pid + wall time + in-process counter).
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (std::uint64_t v : {pid, nowWallMs(), c}) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 0x00000100000001B3ull;
+        }
+    }
+    return h == 0 ? 1 : h;
+}
+
+} // namespace
+
+// --- FsWorkQueue -----------------------------------------------------------
+
+struct FsWorkQueue::Impl
+{
+    std::string root;
+    std::string todoDir;
+    std::string leasedDir;
+    std::string doneDir;
+    std::string tmpDir;
+    double rpcTimeoutSec = 5.0;
+    std::mutex mtx;
+
+    LeasePolicy policy;
+    std::size_t total = 0;
+    std::string spec;
+    bool metaLoaded = false;
+    bool coordinator = false; ///< seeded here: straggler duty is ours
+
+    std::string donePath(std::uint64_t hash) const
+    {
+        return doneDir + "/" + hex16(hash) + ".json";
+    }
+
+    std::string tmpPath(const char* what)
+    {
+        return tmpDir + "/" + what + "-" + hex16(processUniqueToken());
+    }
+
+    bool loadMeta()
+    {
+        if (metaLoaded) {
+            return true;
+        }
+        std::string meta;
+        if (!readWholeFile(root + "/queue.json", &meta) ||
+            !parseQueueMeta(meta, &total, &policy)) {
+            return false;
+        }
+        readWholeFile(root + "/spec.json", &spec); // optional
+        metaLoaded = true;
+        return true;
+    }
+
+    std::size_t doneCountLocked() { return listDir(doneDir).size(); }
+
+    /** Creates the queue directory layout (idempotent). */
+    bool ensureLayoutLocked(std::string* err)
+    {
+        for (const std::string& d :
+             {root, todoDir, leasedDir, doneDir, tmpDir}) {
+            if (!ensureDir(d)) {
+                if (err != nullptr) {
+                    *err = "cannot create queue directory " + d + ": " +
+                           std::strerror(errno);
+                }
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /** Writes a final failure entry for a job whose attempts ran out. */
+    void publishFinalFailure(const TicketInfo& t, const std::string& kind)
+    {
+        ManifestEntry e;
+        e.hash = t.hash;
+        e.index = t.index;
+        e.workload = t.workload;
+        e.label = t.label;
+        e.ok = false;
+        e.errorKind = kind;
+        std::string tmp = tmpPath("fail");
+        if (writeFileAtomic(tmp, tmp, manifestEntryToJsonLine(e) + "\n")) {
+            publishFirstWins(tmp, donePath(t.hash));
+            fsyncDir(doneDir);
+        }
+    }
+
+    /** Requeues @p t for its next attempt with backoff. */
+    void requeueTicket(TicketInfo t)
+    {
+        t.attempt += 1;
+        t.notBeforeMs =
+            nowWallMs() +
+            static_cast<std::uint64_t>(
+                LeaseTable::backoffDelaySec(policy, t.attempt, t.hash) *
+                    1000.0 +
+                0.5);
+        t.worker.clear();
+        t.token = 0;
+        t.expiryMs = 0;
+        std::string tmp = tmpPath("req");
+        std::string ticketPath = todoDir + "/" + hex16(t.hash) + "." +
+                                 hex16(processUniqueToken()) + ".json";
+        writeFileAtomic(tmp, ticketPath, ticketJson(t));
+        fsyncDir(todoDir);
+    }
+
+    void reclaimExpiredLocked()
+    {
+        std::uint64_t now = nowWallMs();
+        for (const std::string& name : listDir(leasedDir)) {
+            std::string path = leasedDir + "/" + name;
+            std::string json;
+            TicketInfo t;
+            if (!readWholeFile(path, &json) || !parseTicket(json, &t)) {
+                continue;
+            }
+            if (fileExists(donePath(t.hash))) {
+                // The job finished (possibly via a duplicate): clean up.
+                std::string tmp = tmpPath("gc");
+                if (::rename(path.c_str(), tmp.c_str()) == 0) {
+                    ::unlink(tmp.c_str());
+                }
+                continue;
+            }
+            if (t.expiryMs > now) {
+                continue;
+            }
+            // Expired: whoever wins the rename owns the reclaim.
+            std::string tmp = tmpPath("reclaim");
+            if (::rename(path.c_str(), tmp.c_str()) != 0) {
+                continue;
+            }
+            ::unlink(tmp.c_str());
+            if (t.attempt >= policy.maxAttempts) {
+                publishFinalFailure(t, "worker_lost");
+            } else {
+                requeueTicket(t);
+            }
+        }
+        // Stale tickets of completed jobs (straggler duplicates).
+        for (const std::string& name : listDir(todoDir)) {
+            std::string path = todoDir + "/" + name;
+            std::string json;
+            TicketInfo t;
+            if (!readWholeFile(path, &json) || !parseTicket(json, &t)) {
+                continue;
+            }
+            if (fileExists(donePath(t.hash))) {
+                std::string tmp = tmpPath("gc");
+                if (::rename(path.c_str(), tmp.c_str()) == 0) {
+                    ::unlink(tmp.c_str());
+                }
+            }
+        }
+        if (coordinator) {
+            redispatchStragglersLocked(now);
+        }
+    }
+
+    /**
+     * Near the tail — nothing left in todo/ — duplicate the oldest
+     * sufficiently old lease so an idle worker can race the straggler.
+     * Only the seeding coordinator runs this, bounding the duplicate
+     * count per job to LeasePolicy::maxDuplicates.
+     */
+    void redispatchStragglersLocked(std::uint64_t now)
+    {
+        if (policy.maxDuplicates == 0 || !listDir(todoDir).empty()) {
+            return;
+        }
+        // Count active leases per hash; find the oldest.
+        struct PerJob
+        {
+            TicketInfo t;
+            std::size_t count = 0;
+            std::uint64_t oldestGrantMs = ~0ull;
+        };
+        std::unordered_map<std::uint64_t, PerJob> perJob;
+        for (const std::string& name : listDir(leasedDir)) {
+            std::string json;
+            TicketInfo t;
+            if (!readWholeFile(leasedDir + "/" + name, &json) ||
+                !parseTicket(json, &t) || fileExists(donePath(t.hash))) {
+                continue;
+            }
+            PerJob& pj = perJob[t.hash];
+            pj.t = t;
+            pj.count += 1;
+            // Grant time is not stored; expiry - ttl approximates it.
+            std::uint64_t ttlMs = static_cast<std::uint64_t>(
+                policy.leaseTtlSec * 1000.0 + 0.5);
+            std::uint64_t granted =
+                t.expiryMs > ttlMs ? t.expiryMs - ttlMs : 0;
+            pj.oldestGrantMs = std::min(pj.oldestGrantMs, granted);
+        }
+        std::uint64_t stragglerMs = static_cast<std::uint64_t>(
+            policy.stragglerAfterSec * 1000.0 + 0.5);
+        const PerJob* best = nullptr;
+        for (const auto& [hash, pj] : perJob) {
+            (void)hash;
+            if (pj.count > policy.maxDuplicates ||
+                now < pj.oldestGrantMs + stragglerMs) {
+                continue;
+            }
+            if (best == nullptr ||
+                pj.oldestGrantMs < best->oldestGrantMs) {
+                best = &pj;
+            }
+        }
+        if (best != nullptr) {
+            TicketInfo dup = best->t;
+            dup.notBeforeMs = now;
+            dup.worker.clear();
+            dup.token = 0;
+            dup.expiryMs = 0;
+            std::string tmp = tmpPath("dup");
+            std::string ticketPath = todoDir + "/" + hex16(dup.hash) +
+                                     "." + hex16(processUniqueToken()) +
+                                     ".json";
+            writeFileAtomic(tmp, ticketPath, ticketJson(dup));
+            fsyncDir(todoDir);
+        }
+    }
+};
+
+FsWorkQueue::FsWorkQueue(std::string dir, double rpcTimeoutSec)
+    : impl(std::make_shared<Impl>())
+{
+    impl->root = std::move(dir);
+    impl->todoDir = impl->root + "/todo";
+    impl->leasedDir = impl->root + "/leased";
+    impl->doneDir = impl->root + "/done";
+    impl->tmpDir = impl->root + "/tmp";
+    impl->rpcTimeoutSec = rpcTimeoutSec;
+}
+
+bool
+FsWorkQueue::seed(const std::vector<ManifestEntry>& jobs,
+                  const std::string& specJson, const LeasePolicy& policy,
+                  std::string* err)
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    if (!impl->ensureLayoutLocked(err)) {
+        return false;
+    }
+    if (!writeFileAtomic(impl->tmpDir + "/queue.json.tmp",
+                         impl->root + "/queue.json",
+                         queueMetaJson(jobs.size(), policy))) {
+        *err = "cannot write queue.json";
+        return false;
+    }
+    if (!specJson.empty() &&
+        !writeFileAtomic(impl->tmpDir + "/spec.json.tmp",
+                         impl->root + "/spec.json", specJson)) {
+        *err = "cannot write spec.json";
+        return false;
+    }
+    std::uint64_t now = nowWallMs();
+    for (const ManifestEntry& job : jobs) {
+        if (fileExists(impl->donePath(job.hash))) {
+            continue; // resume: already recorded by a previous run
+        }
+        TicketInfo t;
+        t.hash = job.hash;
+        t.index = job.index;
+        t.attempt = 1;
+        t.notBeforeMs = now;
+        t.workload = job.workload;
+        t.label = job.label;
+        // Skip if any ticket/lease for this hash already exists (resume
+        // onto a live queue): the hash prefix makes this a name scan.
+        bool live = false;
+        std::string prefix = hex16(job.hash) + ".";
+        for (const std::string& dir : {impl->todoDir, impl->leasedDir}) {
+            for (const std::string& name : listDir(dir)) {
+                if (name.rfind(prefix, 0) == 0) {
+                    live = true;
+                    break;
+                }
+            }
+        }
+        if (live) {
+            continue;
+        }
+        std::string ticketPath = impl->todoDir + "/" + hex16(t.hash) +
+                                 "." + hex16(processUniqueToken()) +
+                                 ".json";
+        if (!writeFileAtomic(impl->tmpPath("seed"), ticketPath,
+                             ticketJson(t))) {
+            *err = "cannot write ticket for job " + std::to_string(t.index);
+            return false;
+        }
+    }
+    fsyncDir(impl->todoDir);
+    fsyncDir(impl->root);
+    impl->metaLoaded = false;
+    impl->coordinator = true;
+    return impl->loadMeta();
+}
+
+void
+FsWorkQueue::reclaimExpired()
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    if (impl->loadMeta()) {
+        impl->reclaimExpiredLocked();
+    }
+}
+
+bool
+FsWorkQueue::injectDone(const ManifestEntry& entry)
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    // Resume injections happen before seed() lays out the directory.
+    if (!impl->ensureLayoutLocked(nullptr)) {
+        return false;
+    }
+    std::string tmp = impl->tmpPath("inject");
+    if (!writeFileAtomic(tmp, tmp, manifestEntryToJsonLine(entry) + "\n")) {
+        return false;
+    }
+    LinkResult lr = publishFirstWins(tmp, impl->donePath(entry.hash));
+    fsyncDir(impl->doneDir);
+    return lr != LinkResult::Error;
+}
+
+std::size_t
+FsWorkQueue::doneCount()
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    return impl->doneCountLocked();
+}
+
+std::vector<ManifestEntry>
+FsWorkQueue::collectDone()
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    std::vector<ManifestEntry> out;
+    for (const std::string& name : listDir(impl->doneDir)) {
+        std::string line;
+        if (!readWholeFile(impl->doneDir + "/" + name, &line)) {
+            continue;
+        }
+        while (!line.empty() &&
+               (line.back() == '\n' || line.back() == '\r')) {
+            line.pop_back();
+        }
+        ManifestEntry e;
+        if (manifestEntryFromJsonLine(line, &e)) {
+            out.push_back(std::move(e));
+        }
+    }
+    return out;
+}
+
+bool
+FsWorkQueue::connect(std::string* err)
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    if (!impl->loadMeta()) {
+        *err = "not a queue directory (missing/unreadable queue.json): " +
+               impl->root;
+        return false;
+    }
+    return true;
+}
+
+std::string
+FsWorkQueue::specJson()
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    impl->loadMeta();
+    return impl->spec;
+}
+
+std::size_t
+FsWorkQueue::totalJobs()
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    impl->loadMeta();
+    return impl->total;
+}
+
+ClaimOutcome
+FsWorkQueue::claim(const std::string& worker, JobLease* out)
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    if (!impl->loadMeta()) {
+        return ClaimOutcome::Lost;
+    }
+    // Two passes: scan, then reclaim-expired + rescan. Reclaim is what
+    // keeps the sweep draining when another worker died mid-job.
+    for (int pass = 0; pass < 2; ++pass) {
+        std::uint64_t now = nowWallMs();
+        for (const std::string& name : listDir(impl->todoDir)) {
+            std::string path = impl->todoDir + "/" + name;
+            std::string json;
+            TicketInfo t;
+            if (!readWholeFile(path, &json) || !parseTicket(json, &t)) {
+                continue;
+            }
+            if (fileExists(impl->donePath(t.hash))) {
+                std::string tmp = impl->tmpPath("gc");
+                if (::rename(path.c_str(), tmp.c_str()) == 0) {
+                    ::unlink(tmp.c_str());
+                }
+                continue;
+            }
+            if (t.notBeforeMs > now) {
+                continue;
+            }
+            std::uint64_t token = processUniqueToken();
+            std::string leasePath = impl->leasedDir + "/" +
+                                    hex16(t.hash) + "." + hex16(token) +
+                                    ".json";
+            if (::rename(path.c_str(), leasePath.c_str()) != 0) {
+                continue; // lost the race — next ticket
+            }
+            // We own the job: flesh the file out into a lease.
+            t.worker = worker;
+            t.token = token;
+            t.expiryMs = now + static_cast<std::uint64_t>(
+                                   impl->policy.leaseTtlSec * 1000.0 + 0.5);
+            writeFileAtomic(impl->tmpPath("lease"), leasePath,
+                            ticketJson(t));
+            fsyncDir(impl->leasedDir);
+            out->hash = t.hash;
+            out->index = t.index;
+            out->token = token;
+            out->attempt = t.attempt;
+            out->ttlSec = impl->policy.leaseTtlSec;
+            return ClaimOutcome::Granted;
+        }
+        if (pass == 0) {
+            impl->reclaimExpiredLocked();
+        }
+    }
+    if (impl->doneCountLocked() >= impl->total) {
+        return ClaimOutcome::Drained;
+    }
+    return ClaimOutcome::NoWork;
+}
+
+bool
+FsWorkQueue::renew(const JobLease& lease)
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    if (!impl->loadMeta()) {
+        return false;
+    }
+    std::string path = impl->leasedDir + "/" + hex16(lease.hash) + "." +
+                       hex16(lease.token) + ".json";
+    std::string json;
+    TicketInfo t;
+    if (!readWholeFile(path, &json) || !parseTicket(json, &t)) {
+        return false; // reclaimed from under us
+    }
+    t.expiryMs = nowWallMs() + static_cast<std::uint64_t>(
+                                   impl->policy.leaseTtlSec * 1000.0 + 0.5);
+    return writeFileAtomic(impl->tmpPath("renew"), path, ticketJson(t));
+}
+
+PushOutcome
+FsWorkQueue::push(const JobLease& lease, const ManifestEntry& entry)
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    if (!impl->loadMeta()) {
+        return PushOutcome::Lost;
+    }
+    std::string leasePath = impl->leasedDir + "/" + hex16(lease.hash) +
+                            "." + hex16(lease.token) + ".json";
+    PushOutcome outcome = PushOutcome::Recorded;
+    if (entry.ok) {
+        std::string tmp = impl->tmpPath("done");
+        if (!writeFileAtomic(tmp, tmp,
+                             manifestEntryToJsonLine(entry) + "\n")) {
+            return PushOutcome::Lost;
+        }
+        LinkResult lr = publishFirstWins(tmp, impl->donePath(lease.hash));
+        fsyncDir(impl->doneDir);
+        if (lr == LinkResult::Exists) {
+            outcome = PushOutcome::Duplicate;
+        } else if (lr == LinkResult::Error) {
+            return PushOutcome::Lost;
+        }
+    } else if (fileExists(impl->donePath(lease.hash))) {
+        outcome = PushOutcome::Duplicate;
+    } else if (lease.attempt >= impl->policy.maxAttempts) {
+        TicketInfo t;
+        t.hash = lease.hash;
+        t.index = lease.index;
+        t.workload = entry.workload;
+        t.label = entry.label;
+        impl->publishFinalFailure(t, entry.errorKind);
+    } else {
+        TicketInfo t;
+        t.hash = lease.hash;
+        t.index = lease.index;
+        t.attempt = lease.attempt; // requeueTicket bumps it
+        t.workload = entry.workload;
+        t.label = entry.label;
+        impl->requeueTicket(t);
+    }
+    // Release the lease either way.
+    std::string tmp = impl->tmpPath("rel");
+    if (::rename(leasePath.c_str(), tmp.c_str()) == 0) {
+        ::unlink(tmp.c_str());
+    }
+    return outcome;
+}
+
+double
+FsWorkQueue::noWorkRetrySec()
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    impl->loadMeta();
+    return impl->policy.noWorkRetrySec;
+}
+
+// --- TCP protocol ----------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kQueueMagic = 0x55445132; // "UDQ2"
+
+enum QueueOp : std::uint8_t
+{
+    OpHello = 1,
+    OpClaim = 2,
+    OpRenew = 3,
+    OpPush = 4,
+};
+
+enum QueueStatus : std::uint8_t
+{
+    StGranted = 0, // also generic OK
+    StNoWork = 1,
+    StDrained = 2,
+    StDuplicate = 3,
+    StUnknown = 4,
+    StRequeued = 5,
+};
+
+bool
+sendAllDeadline(int fd, const std::string& data, double deadlineMono)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        double remain = deadlineMono - nowMonotonicSec();
+        if (remain <= 0) {
+            return false;
+        }
+        struct pollfd pfd = {fd, POLLOUT, 0};
+        int rc = ::poll(&pfd, 1, static_cast<int>(remain * 1000.0) + 1);
+        if (rc < 0 && errno == EINTR) {
+            continue;
+        }
+        if (rc <= 0) {
+            return false;
+        }
+        ssize_t w = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK) {
+                continue;
+            }
+            return false;
+        }
+        off += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool
+recvExactDeadline(int fd, std::string* out, std::size_t n,
+                  double deadlineMono)
+{
+    out->clear();
+    while (out->size() < n) {
+        double remain = deadlineMono - nowMonotonicSec();
+        if (remain <= 0) {
+            return false;
+        }
+        struct pollfd pfd = {fd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, static_cast<int>(remain * 1000.0) + 1);
+        if (rc < 0 && errno == EINTR) {
+            continue;
+        }
+        if (rc <= 0) {
+            return false;
+        }
+        char buf[4096];
+        std::size_t want = std::min(sizeof(buf), n - out->size());
+        ssize_t r = ::recv(fd, buf, want, 0);
+        if (r == 0) {
+            return false; // peer closed
+        }
+        if (r < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK) {
+                continue;
+            }
+            return false;
+        }
+        out->append(buf, static_cast<std::size_t>(r));
+    }
+    return true;
+}
+
+bool
+sendFrame(int fd, const std::string& payload, double deadlineMono)
+{
+    std::string frame;
+    appendU32(&frame, static_cast<std::uint32_t>(payload.size()));
+    frame += payload;
+    return sendAllDeadline(fd, frame, deadlineMono);
+}
+
+bool
+recvFrame(int fd, std::string* payload, double deadlineMono)
+{
+    std::string hdr;
+    if (!recvExactDeadline(fd, &hdr, 4, deadlineMono)) {
+        return false;
+    }
+    std::size_t pos = 0;
+    std::uint32_t len = 0;
+    readU32(hdr, &pos, &len);
+    if (len > (64u << 20)) {
+        return false; // absurd frame: protocol error
+    }
+    return recvExactDeadline(fd, payload, len, deadlineMono);
+}
+
+int
+connectWithTimeout(const std::string& host, int port, double timeoutSec,
+                   std::string* err)
+{
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* res = nullptr;
+    std::string portStr = std::to_string(port);
+    int rc = ::getaddrinfo(host.c_str(), portStr.c_str(), &hints, &res);
+    if (rc != 0 || res == nullptr) {
+        if (err) {
+            *err = "cannot resolve " + host + ": " + gai_strerror(rc);
+        }
+        return -1;
+    }
+    int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+    if (fd < 0) {
+        ::freeaddrinfo(res);
+        if (err) {
+            *err = std::string("socket(): ") + std::strerror(errno);
+        }
+        return -1;
+    }
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+    ::freeaddrinfo(res);
+    if (rc != 0 && errno != EINPROGRESS) {
+        if (err) {
+            *err = std::string("connect(): ") + std::strerror(errno);
+        }
+        ::close(fd);
+        return -1;
+    }
+    if (rc != 0) {
+        struct pollfd pfd = {fd, POLLOUT, 0};
+        rc = ::poll(&pfd, 1, static_cast<int>(timeoutSec * 1000.0) + 1);
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        if (rc <= 0 ||
+            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+            soerr != 0) {
+            if (err) {
+                *err = "connect to " + host + ":" + portStr +
+                       (rc <= 0 ? " timed out"
+                                : std::string(" failed: ") +
+                                      std::strerror(soerr));
+            }
+            ::close(fd);
+            return -1;
+        }
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd; // left non-blocking; deadline I/O handles the rest
+}
+
+} // namespace
+
+// --- TcpWorkQueue (client) -------------------------------------------------
+
+struct TcpWorkQueue::Impl
+{
+    std::string host;
+    int port = 0;
+    double rpcTimeoutSec = 5.0;
+    std::mutex mtx;
+    int fd = -1;
+    std::string spec;
+    std::size_t total = 0;
+    double retrySec = 0.2;
+    bool helloDone = false;
+
+    void disconnect()
+    {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+        helloDone = false;
+    }
+
+    bool helloLocked(std::string* err)
+    {
+        std::string req;
+        appendU32(&req, kQueueMagic);
+        req.push_back(static_cast<char>(OpHello));
+        appendStr(&req, "worker");
+        double deadline = nowMonotonicSec() + rpcTimeoutSec;
+        std::string resp;
+        if (!sendFrame(fd, req, deadline) ||
+            !recvFrame(fd, &resp, deadline)) {
+            if (err) {
+                *err = "HELLO RPC failed (coordinator unreachable?)";
+            }
+            return false;
+        }
+        std::size_t pos = 0;
+        std::uint32_t magic = 0;
+        std::uint64_t total64 = 0;
+        std::uint32_t retryMs = 200;
+        if (!readU32(resp, &pos, &magic) || magic != kQueueMagic ||
+            pos >= resp.size() || resp[pos++] != StGranted ||
+            !readStr(resp, &pos, &spec) ||
+            !readU64(resp, &pos, &total64) ||
+            !readU32(resp, &pos, &retryMs)) {
+            if (err) {
+                *err = "malformed HELLO response";
+            }
+            return false;
+        }
+        total = total64;
+        retrySec = static_cast<double>(retryMs) / 1000.0;
+        helloDone = true;
+        return true;
+    }
+
+    /** Connects (if needed) and runs one request/response exchange.
+     *  One reconnect attempt on failure; false = coordinator lost. */
+    bool rpcLocked(const std::string& req, std::string* resp)
+    {
+        for (int tries = 0; tries < 2; ++tries) {
+            if (fd < 0) {
+                std::string err;
+                fd = connectWithTimeout(host, port, rpcTimeoutSec, &err);
+                if (fd < 0) {
+                    continue;
+                }
+                if (!helloLocked(nullptr)) {
+                    disconnect();
+                    continue;
+                }
+            }
+            double deadline = nowMonotonicSec() + rpcTimeoutSec;
+            if (sendFrame(fd, req, deadline) &&
+                recvFrame(fd, resp, deadline)) {
+                return true;
+            }
+            disconnect();
+        }
+        return false;
+    }
+};
+
+TcpWorkQueue::TcpWorkQueue(std::string host, int port, double rpcTimeoutSec)
+    : impl(std::make_shared<Impl>())
+{
+    impl->host = std::move(host);
+    impl->port = port;
+    impl->rpcTimeoutSec = rpcTimeoutSec;
+}
+
+TcpWorkQueue::~TcpWorkQueue()
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    impl->disconnect();
+}
+
+bool
+TcpWorkQueue::connect(std::string* err)
+{
+    wire::installSigpipeIgnore();
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    if (impl->fd >= 0) {
+        return true;
+    }
+    impl->fd =
+        connectWithTimeout(impl->host, impl->port, impl->rpcTimeoutSec, err);
+    if (impl->fd < 0) {
+        return false;
+    }
+    if (!impl->helloLocked(err)) {
+        impl->disconnect();
+        return false;
+    }
+    return true;
+}
+
+std::string
+TcpWorkQueue::specJson()
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    return impl->spec;
+}
+
+std::size_t
+TcpWorkQueue::totalJobs()
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    return impl->total;
+}
+
+ClaimOutcome
+TcpWorkQueue::claim(const std::string& worker, JobLease* out)
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    std::string req;
+    appendU32(&req, kQueueMagic);
+    req.push_back(static_cast<char>(OpClaim));
+    appendStr(&req, worker);
+    std::string resp;
+    if (!impl->rpcLocked(req, &resp)) {
+        return ClaimOutcome::Lost;
+    }
+    std::size_t pos = 0;
+    std::uint32_t magic = 0;
+    if (!readU32(resp, &pos, &magic) || magic != kQueueMagic ||
+        pos >= resp.size()) {
+        return ClaimOutcome::Lost;
+    }
+    std::uint8_t status = static_cast<std::uint8_t>(resp[pos++]);
+    if (status == StDrained) {
+        return ClaimOutcome::Drained;
+    }
+    if (status == StNoWork) {
+        std::uint32_t retryMs = 200;
+        if (readU32(resp, &pos, &retryMs)) {
+            impl->retrySec = static_cast<double>(retryMs) / 1000.0;
+        }
+        return ClaimOutcome::NoWork;
+    }
+    if (status != StGranted) {
+        return ClaimOutcome::Lost;
+    }
+    std::uint64_t hash = 0;
+    std::uint64_t index = 0;
+    std::uint64_t token = 0;
+    std::uint32_t attempt = 1;
+    std::uint32_t ttlMs = 30'000;
+    if (!readU64(resp, &pos, &hash) || !readU64(resp, &pos, &index) ||
+        !readU64(resp, &pos, &token) || !readU32(resp, &pos, &attempt) ||
+        !readU32(resp, &pos, &ttlMs)) {
+        return ClaimOutcome::Lost;
+    }
+    out->hash = hash;
+    out->index = index;
+    out->token = token;
+    out->attempt = attempt;
+    out->ttlSec = static_cast<double>(ttlMs) / 1000.0;
+    return ClaimOutcome::Granted;
+}
+
+bool
+TcpWorkQueue::renew(const JobLease& lease)
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    std::string req;
+    appendU32(&req, kQueueMagic);
+    req.push_back(static_cast<char>(OpRenew));
+    appendU64(&req, lease.token);
+    std::string resp;
+    if (!impl->rpcLocked(req, &resp)) {
+        return false;
+    }
+    std::size_t pos = 0;
+    std::uint32_t magic = 0;
+    return readU32(resp, &pos, &magic) && magic == kQueueMagic &&
+           pos < resp.size() && resp[pos] == StGranted;
+}
+
+PushOutcome
+TcpWorkQueue::push(const JobLease& lease, const ManifestEntry& entry)
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    std::string req;
+    appendU32(&req, kQueueMagic);
+    req.push_back(static_cast<char>(OpPush));
+    appendU64(&req, lease.token);
+    appendStr(&req, manifestEntryToJsonLine(entry));
+    std::string resp;
+    if (!impl->rpcLocked(req, &resp)) {
+        return PushOutcome::Lost;
+    }
+    std::size_t pos = 0;
+    std::uint32_t magic = 0;
+    if (!readU32(resp, &pos, &magic) || magic != kQueueMagic ||
+        pos >= resp.size()) {
+        return PushOutcome::Lost;
+    }
+    std::uint8_t status = static_cast<std::uint8_t>(resp[pos]);
+    if (status == StDuplicate) {
+        return PushOutcome::Duplicate;
+    }
+    if (status == StGranted || status == StRequeued ||
+        status == StUnknown) {
+        return PushOutcome::Recorded;
+    }
+    return PushOutcome::Lost;
+}
+
+double
+TcpWorkQueue::noWorkRetrySec()
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    return impl->retrySec;
+}
+
+// --- TcpQueueServer --------------------------------------------------------
+
+struct TcpQueueServer::Impl
+{
+    int listenFd = -1;
+    int boundPort = 0;
+    Handlers handlers;
+
+    struct Conn
+    {
+        int fd = -1;
+        std::string inBuf;
+        std::string outBuf;
+    };
+    std::vector<Conn> conns;
+
+    void closeAll()
+    {
+        for (Conn& c : conns) {
+            if (c.fd >= 0) {
+                ::close(c.fd);
+            }
+        }
+        conns.clear();
+        if (listenFd >= 0) {
+            ::close(listenFd);
+            listenFd = -1;
+        }
+    }
+
+    std::string handleRequest(const std::string& req)
+    {
+        std::string resp;
+        appendU32(&resp, kQueueMagic);
+        std::size_t pos = 0;
+        std::uint32_t magic = 0;
+        if (!readU32(req, &pos, &magic) || magic != kQueueMagic ||
+            pos >= req.size()) {
+            resp.push_back(static_cast<char>(StUnknown));
+            return resp;
+        }
+        std::uint8_t op = static_cast<std::uint8_t>(req[pos++]);
+        switch (op) {
+        case OpHello: {
+            std::string worker;
+            readStr(req, &pos, &worker);
+            resp.push_back(static_cast<char>(StGranted));
+            appendStr(&resp, handlers.spec ? handlers.spec() : "");
+            appendU64(&resp, handlers.total ? handlers.total() : 0);
+            appendU32(&resp,
+                      static_cast<std::uint32_t>(
+                          (handlers.retrySec ? handlers.retrySec() : 0.2) *
+                              1000.0 +
+                          0.5));
+            return resp;
+        }
+        case OpClaim: {
+            std::string worker;
+            readStr(req, &pos, &worker);
+            JobLease lease;
+            ClaimOutcome co = handlers.claim
+                                  ? handlers.claim(worker, &lease)
+                                  : ClaimOutcome::Drained;
+            if (co == ClaimOutcome::Granted) {
+                resp.push_back(static_cast<char>(StGranted));
+                appendU64(&resp, lease.hash);
+                appendU64(&resp, lease.index);
+                appendU64(&resp, lease.token);
+                appendU32(&resp, lease.attempt);
+                appendU32(&resp, static_cast<std::uint32_t>(
+                                     lease.ttlSec * 1000.0 + 0.5));
+            } else if (co == ClaimOutcome::NoWork) {
+                resp.push_back(static_cast<char>(StNoWork));
+                appendU32(
+                    &resp,
+                    static_cast<std::uint32_t>(
+                        (handlers.retrySec ? handlers.retrySec() : 0.2) *
+                            1000.0 +
+                        0.5));
+            } else {
+                resp.push_back(static_cast<char>(StDrained));
+            }
+            return resp;
+        }
+        case OpRenew: {
+            std::uint64_t token = 0;
+            bool ok = readU64(req, &pos, &token) && handlers.renew &&
+                      handlers.renew(token);
+            resp.push_back(static_cast<char>(ok ? StGranted : StUnknown));
+            return resp;
+        }
+        case OpPush: {
+            std::uint64_t token = 0;
+            std::string entryJson;
+            ManifestEntry entry;
+            if (!readU64(req, &pos, &token) ||
+                !readStr(req, &pos, &entryJson) ||
+                !manifestEntryFromJsonLine(entryJson, &entry) ||
+                !handlers.push) {
+                resp.push_back(static_cast<char>(StUnknown));
+                return resp;
+            }
+            LeaseTable::Push pr = handlers.push(token, entry);
+            switch (pr) {
+            case LeaseTable::Push::RecordedFinal:
+                resp.push_back(static_cast<char>(StGranted));
+                break;
+            case LeaseTable::Push::Requeued:
+                resp.push_back(static_cast<char>(StRequeued));
+                break;
+            case LeaseTable::Push::Duplicate:
+                resp.push_back(static_cast<char>(StDuplicate));
+                break;
+            default:
+                resp.push_back(static_cast<char>(StUnknown));
+                break;
+            }
+            return resp;
+        }
+        default:
+            resp.push_back(static_cast<char>(StUnknown));
+            return resp;
+        }
+    }
+
+    /** Consumes complete frames from @p c.inBuf, queueing responses. */
+    void drainFrames(Conn& c)
+    {
+        for (;;) {
+            if (c.inBuf.size() < 4) {
+                return;
+            }
+            std::size_t pos = 0;
+            std::uint32_t len = 0;
+            readU32(c.inBuf, &pos, &len);
+            if (len > (64u << 20)) {
+                ::close(c.fd);
+                c.fd = -1;
+                return;
+            }
+            if (c.inBuf.size() < 4 + len) {
+                return;
+            }
+            std::string req = c.inBuf.substr(4, len);
+            c.inBuf.erase(0, 4 + len);
+            std::string resp = handleRequest(req);
+            appendU32(&c.outBuf, static_cast<std::uint32_t>(resp.size()));
+            c.outBuf += resp;
+        }
+    }
+};
+
+TcpQueueServer::TcpQueueServer() : impl(std::make_unique<Impl>()) {}
+
+TcpQueueServer::~TcpQueueServer()
+{
+    impl->closeAll();
+}
+
+bool
+TcpQueueServer::listen(const std::string& host, int port, Handlers handlers,
+                       std::string* err)
+{
+    wire::installSigpipeIgnore();
+    impl->handlers = std::move(handlers);
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        *err = std::string("socket(): ") + std::strerror(errno);
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (host.empty() || host == "0.0.0.0") {
+        addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        *err = "listen address must be a numeric IPv4 address: " + host;
+        ::close(fd);
+        return false;
+    }
+    if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        *err = "bind(" + host + ":" + std::to_string(port) +
+               "): " + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    if (::listen(fd, 64) != 0) {
+        *err = std::string("listen(): ") + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len);
+    impl->boundPort = ntohs(addr.sin_port);
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    impl->listenFd = fd;
+    return true;
+}
+
+int
+TcpQueueServer::port() const
+{
+    return impl->boundPort;
+}
+
+void
+TcpQueueServer::poll(double timeoutSec)
+{
+    if (impl->listenFd < 0) {
+        return;
+    }
+    // Compact closed connections.
+    impl->conns.erase(std::remove_if(impl->conns.begin(),
+                                     impl->conns.end(),
+                                     [](const Impl::Conn& c) {
+                                         return c.fd < 0;
+                                     }),
+                      impl->conns.end());
+
+    std::vector<struct pollfd> pfds;
+    pfds.push_back({impl->listenFd, POLLIN, 0});
+    for (const Impl::Conn& c : impl->conns) {
+        short ev = POLLIN;
+        if (!c.outBuf.empty()) {
+            ev |= POLLOUT;
+        }
+        pfds.push_back({c.fd, ev, 0});
+    }
+    int rc = ::poll(pfds.data(), pfds.size(),
+                    static_cast<int>(timeoutSec * 1000.0));
+    if (rc <= 0) {
+        return;
+    }
+    if (pfds[0].revents & POLLIN) {
+        for (;;) {
+            int cfd = ::accept(impl->listenFd, nullptr, nullptr);
+            if (cfd < 0) {
+                break;
+            }
+            int flags = ::fcntl(cfd, F_GETFL, 0);
+            ::fcntl(cfd, F_SETFL, flags | O_NONBLOCK);
+            int one = 1;
+            ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            Impl::Conn c;
+            c.fd = cfd;
+            impl->conns.push_back(std::move(c));
+        }
+    }
+    for (std::size_t i = 1; i < pfds.size(); ++i) {
+        Impl::Conn& c = impl->conns[i - 1];
+        if (c.fd < 0 || pfds[i].revents == 0) {
+            continue;
+        }
+        if (pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
+            char buf[8192];
+            for (;;) {
+                ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+                if (n > 0) {
+                    c.inBuf.append(buf, static_cast<std::size_t>(n));
+                    continue;
+                }
+                if (n < 0 &&
+                    (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                    break;
+                }
+                if (n < 0 && errno == EINTR) {
+                    continue;
+                }
+                ::close(c.fd); // peer gone (worker death is normal)
+                c.fd = -1;
+                break;
+            }
+            if (c.fd >= 0) {
+                impl->drainFrames(c);
+            }
+        }
+        if (c.fd >= 0 && !c.outBuf.empty()) {
+            ssize_t w = ::send(c.fd, c.outBuf.data(), c.outBuf.size(),
+                               MSG_NOSIGNAL);
+            if (w > 0) {
+                c.outBuf.erase(0, static_cast<std::size_t>(w));
+            } else if (w < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                       errno != EINTR) {
+                ::close(c.fd);
+                c.fd = -1;
+            }
+        }
+    }
+}
+
+void
+TcpQueueServer::close()
+{
+    impl->closeAll();
+}
+
+#endif // POSIX
+
+std::unique_ptr<WorkQueue>
+openWorkQueue(const std::string& endpoint, double rpcTimeoutSec,
+              std::string* err)
+{
+    QueueEndpoint ep = parseQueueEndpoint(endpoint);
+    std::unique_ptr<WorkQueue> q;
+    if (ep.tcp) {
+        if (ep.port <= 0 || ep.port > 65535) {
+            *err = "bad TCP endpoint \"" + endpoint + "\" (want tcp:HOST:PORT)";
+            return nullptr;
+        }
+        q = std::make_unique<TcpWorkQueue>(ep.host, ep.port, rpcTimeoutSec);
+    } else {
+        q = std::make_unique<FsWorkQueue>(ep.dir, rpcTimeoutSec);
+    }
+    if (!q->connect(err)) {
+        return nullptr;
+    }
+    return q;
+}
+
+} // namespace udp

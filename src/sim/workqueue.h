@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Pluggable transports for the distributed sweep work queue
+ * (docs/ROBUSTNESS.md §10). Workers see one interface — claim / renew /
+ * push — over two backends:
+ *
+ *   - FsWorkQueue: a shared-filesystem queue directory. Claims are
+ *     atomic rename(2) of ticket files, completions are link(2)
+ *     (first-completion-wins), lease heartbeats rewrite the lease file
+ *     via tmp + rename, and everything durable is fsync'd. The queue is
+ *     decentralized: any participant (worker or coordinator) reclaims
+ *     expired leases, so workers keep draining the sweep even if the
+ *     coordinator dies.
+ *
+ *   - TcpWorkQueue: a minimal length-prefixed RPC protocol (framing
+ *     shared with sim/procexec.cc via sim/wire.h) against a
+ *     single-threaded coordinator server holding the authoritative
+ *     LeaseTable. Every RPC has a connect/read deadline budget; a dead
+ *     coordinator yields ClaimOutcome::Lost / PushOutcome::Lost so the
+ *     worker can flush its in-flight result locally.
+ *
+ * Endpoints are strings: "tcp:HOST:PORT" (or "tcp:PORT" for
+ * 127.0.0.1) selects TCP, anything else is a queue directory path.
+ */
+
+#ifndef UDP_SIM_WORKQUEUE_H
+#define UDP_SIM_WORKQUEUE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/lease.h"
+#include "sim/manifest.h"
+
+namespace udp {
+
+/** Outcome of delivering a job result to the queue. */
+enum class PushOutcome
+{
+    Recorded,  ///< accepted (completion recorded, or failure processed)
+    Duplicate, ///< someone else completed the job first — discarded
+    Lost,      ///< coordinator unreachable — flush locally
+};
+
+/**
+ * Worker-side view of a sweep work queue. Implementations are
+ * internally synchronized for the worker's heartbeat thread (renew may
+ * race a concurrent claim/push).
+ */
+class WorkQueue
+{
+  public:
+    virtual ~WorkQueue() = default;
+
+    /** Establishes the connection / validates the queue directory. */
+    virtual bool connect(std::string* err) = 0;
+
+    /** The sweep spec JSON this queue serves ("" for bench pairing,
+     *  where both sides construct the job list from their own argv). */
+    virtual std::string specJson() = 0;
+
+    /** Total jobs in the sweep (drain detection). */
+    virtual std::size_t totalJobs() = 0;
+
+    /** Tries to claim one job lease. */
+    virtual ClaimOutcome claim(const std::string& worker, JobLease* out) = 0;
+
+    /** Heartbeat on a held lease; false when the lease is gone (the job
+     *  may have been reclaimed — completion is still safe to attempt). */
+    virtual bool renew(const JobLease& lease) = 0;
+
+    /**
+     * Delivers the result of a leased job. @p entry carries the full
+     * manifest record: ok entries hold the serialized Report (byte-exact
+     * round trip), failed entries the error kind. The queue applies its
+     * retry policy to failures; completions are idempotent.
+     */
+    virtual PushOutcome push(const JobLease& lease,
+                             const ManifestEntry& entry) = 0;
+
+    /** Retry hint after NoWork, seconds. */
+    virtual double noWorkRetrySec() = 0;
+};
+
+/** Parsed endpoint. */
+struct QueueEndpoint
+{
+    bool tcp = false;
+    std::string host; ///< tcp only
+    int port = 0;     ///< tcp only
+    std::string dir;  ///< filesystem only
+};
+
+/** Parses "tcp:HOST:PORT" / "tcp:PORT" / directory path. */
+QueueEndpoint parseQueueEndpoint(const std::string& endpoint);
+
+/**
+ * Opens a worker-side queue client for @p endpoint.
+ * Returns nullptr with @p err set on failure.
+ */
+std::unique_ptr<WorkQueue> openWorkQueue(const std::string& endpoint,
+                                         double rpcTimeoutSec,
+                                         std::string* err);
+
+// --- filesystem backend ----------------------------------------------------
+
+/**
+ * The shared-directory queue. Layout under the queue root:
+ *
+ *   queue.json           total jobs + lease policy (written at seed time)
+ *   spec.json            the sweep spec served to udp_worker ("" = none)
+ *   todo/<hash>.<n>.json claimable tickets {hash,index,attempt,not_before}
+ *   leased/<hash>.<token>.json  active leases {... worker, expiry}
+ *   done/<hash>.json     final ManifestEntry line (ok or failed)
+ *   tmp/                 staging for atomic rename/link
+ *
+ * All transitions are single atomic directory operations, so any number
+ * of workers race safely: rename(2) from todo/ decides claims, link(2)
+ * into done/ decides completions (EEXIST = duplicate), and rename into
+ * tmp/ decides who reclaims an expired lease.
+ */
+class FsWorkQueue : public WorkQueue
+{
+  public:
+    FsWorkQueue(std::string dir, double rpcTimeoutSec);
+
+    /**
+     * Coordinator: creates the directory layout and seeds one ticket
+     * per job not already recorded in done/ (restarting on an existing
+     * queue directory is the resume path — state lives in the
+     * directory). @p jobs are ManifestEntry skeletons (hash, index,
+     * workload, label — no report); the workload/label ride along on
+     * tickets so a reclaim that exhausts attempts can record a complete
+     * failure entry. Existing done entries whose hash matches are kept.
+     */
+    bool seed(const std::vector<ManifestEntry>& jobs,
+              const std::string& specJson, const LeasePolicy& policy,
+              std::string* err);
+
+    /**
+     * Requeues expired leases (or records their final failure once
+     * attempts are exhausted) and sweeps stale tickets/leases of jobs
+     * that already completed. Run by the coordinator every poll tick
+     * and by workers whenever they find nothing to claim — reclaim
+     * does not depend on the coordinator being alive.
+     */
+    void reclaimExpired();
+
+    /** Coordinator resume: records @p entry directly into done/ (used
+     *  to absorb a checkpoint manifest or worker shard files). First
+     *  writer wins, like any completion. */
+    bool injectDone(const ManifestEntry& entry);
+
+    /** Completed-or-finally-failed count (scan of done/). */
+    std::size_t doneCount();
+
+    /** Loads every done/ entry, keyed by job hash. */
+    std::vector<ManifestEntry> collectDone();
+
+    // WorkQueue interface.
+    bool connect(std::string* err) override;
+    std::string specJson() override;
+    std::size_t totalJobs() override;
+    ClaimOutcome claim(const std::string& worker, JobLease* out) override;
+    bool renew(const JobLease& lease) override;
+    PushOutcome push(const JobLease& lease,
+                     const ManifestEntry& entry) override;
+    double noWorkRetrySec() override;
+
+  private:
+    struct Impl;
+    std::shared_ptr<Impl> impl;
+};
+
+// --- TCP backend -----------------------------------------------------------
+
+/** Worker-side TCP client. */
+class TcpWorkQueue : public WorkQueue
+{
+  public:
+    TcpWorkQueue(std::string host, int port, double rpcTimeoutSec);
+    ~TcpWorkQueue() override;
+
+    bool connect(std::string* err) override;
+    std::string specJson() override;
+    std::size_t totalJobs() override;
+    ClaimOutcome claim(const std::string& worker, JobLease* out) override;
+    bool renew(const JobLease& lease) override;
+    PushOutcome push(const JobLease& lease,
+                     const ManifestEntry& entry) override;
+    double noWorkRetrySec() override;
+
+  private:
+    struct Impl;
+    std::shared_ptr<Impl> impl;
+};
+
+/**
+ * Coordinator-side TCP server: a single-threaded poll loop multiplexing
+ * worker connections and dispatching framed RPCs into the handler
+ * callbacks (which the coordinator backs with its LeaseTable +
+ * manifest). No threads are spawned; the owner calls poll() from its
+ * run loop.
+ */
+class TcpQueueServer
+{
+  public:
+    struct Handlers
+    {
+        std::function<std::string()> spec;
+        std::function<std::size_t()> total;
+        std::function<ClaimOutcome(const std::string& worker, JobLease*)>
+            claim;
+        std::function<bool(std::uint64_t token)> renew;
+        std::function<LeaseTable::Push(std::uint64_t token,
+                                       const ManifestEntry&)>
+            push;
+        std::function<double()> retrySec;
+    };
+
+    TcpQueueServer();
+    ~TcpQueueServer();
+    TcpQueueServer(const TcpQueueServer&) = delete;
+    TcpQueueServer& operator=(const TcpQueueServer&) = delete;
+
+    /** Binds and listens; port 0 picks an ephemeral port (see port()). */
+    bool listen(const std::string& host, int port, Handlers handlers,
+                std::string* err);
+
+    /** The bound port. */
+    int port() const;
+
+    /** Processes pending connections/RPCs for up to @p timeoutSec. */
+    void poll(double timeoutSec);
+
+    /** Closes the listener and every worker connection. */
+    void close();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace udp
+
+#endif // UDP_SIM_WORKQUEUE_H

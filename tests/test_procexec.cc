@@ -17,7 +17,9 @@
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <random>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/faultinject.h"
@@ -325,6 +327,153 @@ TEST(Manifest, TruncatedFinalLineIsSkippedOnLoad)
     EXPECT_NE(m.findCompleted(2), nullptr);
     EXPECT_EQ(m.findCompleted(3), nullptr);
     m.close();
+    std::remove(path.c_str());
+}
+
+/** A distinct, internally consistent ok entry for torn-line tests. */
+ManifestEntry
+fuzzEntry(std::uint64_t hash, unsigned id)
+{
+    Report r;
+    r.workload = "app" + std::to_string(id);
+    r.configName = "cfg" + std::to_string(id);
+    r.ipc = 1.0 + 0.001 * static_cast<double>(id);
+
+    ManifestEntry e;
+    e.hash = hash;
+    e.index = id;
+    e.workload = r.workload;
+    e.label = r.configName;
+    e.ok = true;
+    e.reportJson = reportToJsonLine(r);
+    return e;
+}
+
+TEST(Manifest, SplicedLineFromTwoWritersIsRejected)
+{
+    // The corruption a line-level parser cannot catch: two writers
+    // interleaving on one file splice a line that PARSES — writer A's
+    // prefix (hash, workload, label) joined to writer B's report value.
+    // Without the deep consistency check, resume would resurrect B's
+    // Report under A's job hash.
+    ManifestEntry a = fuzzEntry(0xAAAA, 1);
+    ManifestEntry b = fuzzEntry(0xBBBB, 2);
+    std::string la = manifestEntryToJsonLine(a);
+    std::string lb = manifestEntryToJsonLine(b);
+    const std::string key = "\"report\":";
+    std::size_t ca = la.find(key);
+    std::size_t cb = lb.find(key);
+    ASSERT_NE(ca, std::string::npos);
+    ASSERT_NE(cb, std::string::npos);
+    std::string spliced = la.substr(0, ca) + lb.substr(cb);
+
+    ManifestEntry parsed;
+    ASSERT_TRUE(manifestEntryFromJsonLine(spliced, &parsed))
+        << "the splice is supposed to parse — that is the point";
+    EXPECT_EQ(parsed.hash, a.hash);
+    EXPECT_EQ(parsed.reportJson, b.reportJson);
+    EXPECT_FALSE(manifestEntryIsConsistent(parsed));
+
+    // Untampered entries pass.
+    EXPECT_TRUE(manifestEntryIsConsistent(a));
+    EXPECT_TRUE(manifestEntryIsConsistent(b));
+
+    std::string path = ::testing::TempDir() + "manifest_splice.jsonl";
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << la << '\n' << spliced << '\n';
+    }
+    SweepManifest m;
+    ASSERT_TRUE(m.open(path, /*resume=*/true));
+    EXPECT_EQ(m.loadedCompleted(), 1u);
+    EXPECT_NE(m.findCompleted(a.hash), nullptr);
+    m.close();
+    std::remove(path.c_str());
+}
+
+TEST(Manifest, ConcurrentWriterFuzzReplaysExactlyTheCompletedSet)
+{
+    // Fuzz two unsynchronized writers appending to one manifest: records
+    // land atomically, interleave mid-line, or truncate at a crash. On
+    // every schedule, resume must replay exactly the records that were
+    // written intact — never a spliced or truncated one.
+    std::string path = ::testing::TempDir() + "manifest_fuzz.jsonl";
+    constexpr unsigned kRecordsPerWriter = 6;
+
+    for (unsigned seed = 0; seed < 25; ++seed) {
+        std::mt19937 rng(seed);
+        std::vector<std::string> pending[2];
+        std::unordered_set<std::uint64_t> allHashes;
+        std::vector<ManifestEntry> entries;
+        for (unsigned w = 0; w < 2; ++w) {
+            for (unsigned i = 0; i < kRecordsPerWriter; ++i) {
+                unsigned id = w * kRecordsPerWriter + i;
+                ManifestEntry e = fuzzEntry(1000 + id, id);
+                entries.push_back(e);
+                pending[w].push_back(manifestEntryToJsonLine(e));
+                allHashes.insert(e.hash);
+            }
+        }
+
+        std::unordered_set<std::uint64_t> completed;
+        std::string file;
+        bool crashed = false;
+        std::size_t next[2] = {0, 0};
+        while (!crashed && (next[0] < pending[0].size() ||
+                            next[1] < pending[1].size())) {
+            unsigned w = rng() % 2;
+            if (next[w] >= pending[w].size()) {
+                w ^= 1;
+            }
+            const std::string& line = pending[w][next[w]];
+            std::uint64_t hash = entries[w * kRecordsPerWriter +
+                                         next[w]].hash;
+            unsigned roll = rng() % 10;
+            if (roll < 6) {
+                // Atomic append: the only way a record completes.
+                file += line + '\n';
+                completed.insert(hash);
+                ++next[w];
+            } else if (roll < 9 && next[w ^ 1] < pending[w ^ 1].size()) {
+                // Torn interleave: both writers' bytes splice into one
+                // line; both records are lost.
+                const std::string& other = pending[w ^ 1][next[w ^ 1]];
+                std::size_t cutA = 1 + rng() % (line.size() - 1);
+                std::size_t cutB = rng() % other.size();
+                file += line.substr(0, cutA) + other.substr(cutB) + '\n';
+                ++next[w];
+                ++next[w ^ 1];
+            } else {
+                // Crash mid-append: a truncated tail ends the file.
+                file += line.substr(0, 1 + rng() % (line.size() - 1));
+                crashed = true;
+            }
+        }
+        {
+            std::ofstream out(path, std::ios::trunc | std::ios::binary);
+            out << file;
+        }
+
+        SweepManifest m;
+        ASSERT_TRUE(m.open(path, /*resume=*/true));
+        EXPECT_EQ(m.loadedCompleted(), completed.size())
+            << "seed " << seed;
+        for (std::uint64_t h : allHashes) {
+            const ManifestEntry* hit = m.findCompleted(h);
+            if (completed.count(h) != 0) {
+                ASSERT_NE(hit, nullptr) << "seed " << seed << " hash " << h;
+                // Replayed byte-exactly, not merely present.
+                EXPECT_EQ(hit->reportJson,
+                          entries[static_cast<std::size_t>(h - 1000)]
+                              .reportJson)
+                    << "seed " << seed;
+            } else {
+                EXPECT_EQ(hit, nullptr)
+                    << "seed " << seed << " resurrected torn hash " << h;
+            }
+        }
+        m.close();
+    }
     std::remove(path.c_str());
 }
 

@@ -1,0 +1,703 @@
+/**
+ * @file
+ * Tests for the distributed sweep service: the lease state machine
+ * (sim/lease.h — expiry/reclaim, bounded retries with deterministic
+ * backoff, straggler duplication with first-completion-wins, idempotent
+ * completion), the sweep-spec round trip and its deterministic
+ * expansion (sim/sweepd.h), both work-queue transports (sim/workqueue.h),
+ * and the coordinator/worker integration: distributed runs — including
+ * one with a worker SIGKILLed mid-job — produce Reports byte-identical
+ * to a serial in-process run, and a restarted coordinator resumes from
+ * its checkpoint manifest without re-running completed jobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/lease.h"
+#include "sim/manifest.h"
+#include "sim/procexec.h"
+#include "sim/sweep.h"
+#include "sim/sweepd.h"
+#include "sim/workqueue.h"
+#include "stats/sink.h"
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace udp {
+namespace {
+
+// --- helpers ---------------------------------------------------------------
+
+std::string
+freshDir(const std::string& tag)
+{
+    namespace fs = std::filesystem;
+#ifndef _WIN32
+    std::string pid = std::to_string(::getpid());
+#else
+    std::string pid = "0";
+#endif
+    fs::path p = fs::temp_directory_path() /
+                 ("udp_sweepd_test_" + tag + "_" + pid);
+    fs::remove_all(p);
+    fs::create_directories(p);
+    return p.string();
+}
+
+/** The sweep every integration test runs: 2 workloads x 2 configs at a
+ *  tiny instruction window, so one serial pass is the byte-identity
+ *  reference for every distributed variant. */
+SweepSpec
+tinySpec()
+{
+    SweepSpec s;
+    s.name = "tiny";
+    s.warmupInstrs = 5'000;
+    s.measureInstrs = 10'000;
+    s.workloads = {"mediawiki", "drupal"};
+    s.configs = {{"fdip32", "fdip", 0}, {"udp8k", "udp8k", 0}};
+    return s;
+}
+
+std::vector<SweepJob>
+tinyJobs()
+{
+    std::vector<SweepJob> jobs;
+    std::string err;
+    EXPECT_TRUE(expandSweepSpec(tinySpec(), &jobs, &err)) << err;
+    return jobs;
+}
+
+/** Serial in-process reference: one JSON line per job, in job order. */
+std::vector<std::string>
+serialReference(const std::vector<SweepJob>& jobs)
+{
+    std::vector<std::string> lines;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        JobResult jr = runJobChecked(jobs[i], i);
+        EXPECT_TRUE(jr.ok) << jr.error.message;
+        lines.push_back(reportToJsonLine(jr.report));
+    }
+    return lines;
+}
+
+void
+expectByteIdentical(const std::vector<SweepJob>& jobs,
+                    const std::vector<JobResult>& results,
+                    const std::vector<std::string>& reference)
+{
+    ASSERT_EQ(results.size(), jobs.size());
+    ASSERT_EQ(reference.size(), jobs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        ASSERT_TRUE(results[i].ok)
+            << "job " << i << " failed: " << results[i].error.kind << " "
+            << results[i].error.message;
+        EXPECT_EQ(reportToJsonLine(results[i].report), reference[i])
+            << "job " << i << " not byte-identical to serial run";
+    }
+}
+
+LeasePolicy
+fastPolicy()
+{
+    LeasePolicy p;
+    p.leaseTtlSec = 1.0;
+    p.maxAttempts = 3;
+    p.backoffBaseSec = 0.05;
+    p.backoffCapSec = 0.2;
+    p.stragglerAfterSec = 0.5;
+    p.noWorkRetrySec = 0.02;
+    return p;
+}
+
+// --- LeaseTable: the pure state machine ------------------------------------
+
+TEST(LeaseTable, ClaimExecuteCompleteDrains)
+{
+    LeaseTable t({11, 22}, LeasePolicy{});
+    JobLease a;
+    JobLease b;
+    ASSERT_EQ(t.claim(0.0, "w1", &a), ClaimOutcome::Granted);
+    ASSERT_EQ(t.claim(0.0, "w2", &b), ClaimOutcome::Granted);
+    EXPECT_NE(a.token, b.token);
+    EXPECT_EQ(a.attempt, 1u);
+    // Everything is leased: nothing more to claim yet.
+    JobLease c;
+    EXPECT_EQ(t.claim(0.0, "w3", &c), ClaimOutcome::NoWork);
+
+    EXPECT_EQ(t.push(1.0, a.token, true, ""), LeaseTable::Push::RecordedFinal);
+    EXPECT_EQ(t.push(1.0, b.token, true, ""), LeaseTable::Push::RecordedFinal);
+    EXPECT_TRUE(t.drained());
+    EXPECT_EQ(t.doneCount(), 2u);
+    EXPECT_EQ(t.claim(1.0, "w3", &c), ClaimOutcome::Drained);
+}
+
+TEST(LeaseTable, LeaseExpiryReclaimsAndChargesAnAttempt)
+{
+    LeasePolicy p = fastPolicy();
+    LeaseTable t({7}, p);
+    JobLease a;
+    ASSERT_EQ(t.claim(0.0, "w1", &a), ClaimOutcome::Granted);
+    EXPECT_EQ(a.ttlSec, p.leaseTtlSec);
+
+    // Before expiry the lease holds.
+    t.tick(0.5);
+    EXPECT_EQ(t.activeLeases(0), 1u);
+
+    // Past expiry the job is reclaimed, one attempt charged, and the
+    // next claim (after the backoff window) is attempt 2.
+    t.tick(2.0);
+    EXPECT_EQ(t.activeLeases(0), 0u);
+    EXPECT_EQ(t.attemptsUsed(0), 1u);
+    JobLease b;
+    ASSERT_EQ(t.claim(10.0, "w2", &b), ClaimOutcome::Granted);
+    EXPECT_EQ(b.attempt, 2u);
+    // The dead worker's token no longer renews...
+    EXPECT_FALSE(t.renew(10.0, a.token));
+    // ...but its late RESULT is still honored if it lands first: the
+    // work is deterministic, so first completion wins regardless of
+    // which lease produced it.
+    EXPECT_EQ(t.push(10.5, a.token, true, ""),
+              LeaseTable::Push::RecordedFinal);
+    EXPECT_EQ(t.push(11.0, b.token, true, ""), LeaseTable::Push::Duplicate);
+    EXPECT_TRUE(t.drained());
+}
+
+TEST(LeaseTable, RenewExtendsTheLease)
+{
+    LeasePolicy p = fastPolicy();
+    LeaseTable t({7}, p);
+    JobLease a;
+    ASSERT_EQ(t.claim(0.0, "w1", &a), ClaimOutcome::Granted);
+    // Heartbeats carry the lease far past its original expiry.
+    for (double now = 0.8; now < 5.0; now += 0.8) {
+        EXPECT_TRUE(t.renew(now, a.token));
+        t.tick(now);
+        EXPECT_EQ(t.activeLeases(0), 1u);
+    }
+    EXPECT_EQ(t.attemptsUsed(0), 1u);
+    EXPECT_EQ(t.push(5.0, a.token, true, ""), LeaseTable::Push::RecordedFinal);
+}
+
+TEST(LeaseTable, FailedPushRequeuesWithBackoffThenFinallyFails)
+{
+    LeasePolicy p = fastPolicy();
+    p.maxAttempts = 2;
+    LeaseTable t({99}, p);
+    JobLease a;
+    ASSERT_EQ(t.claim(0.0, "w1", &a), ClaimOutcome::Granted);
+    EXPECT_EQ(t.push(0.1, a.token, false, "crash"),
+              LeaseTable::Push::Requeued);
+
+    // The retry is gated behind the backoff window.
+    JobLease b;
+    EXPECT_EQ(t.claim(0.1, "w1", &b), ClaimOutcome::NoWork);
+    ASSERT_EQ(t.claim(5.0, "w1", &b), ClaimOutcome::Granted);
+    EXPECT_EQ(b.attempt, 2u);
+
+    // Exhausting attempts records the final failure kind.
+    EXPECT_EQ(t.push(5.1, b.token, false, "crash"),
+              LeaseTable::Push::RecordedFinal);
+    EXPECT_TRUE(t.drained());
+    EXPECT_EQ(t.failedCount(), 1u);
+    ASSERT_NE(t.finalErrorKind(0), nullptr);
+    EXPECT_EQ(*t.finalErrorKind(0), "crash");
+}
+
+TEST(LeaseTable, ExhaustedExpiriesRecordWorkerLost)
+{
+    LeasePolicy p = fastPolicy();
+    p.maxAttempts = 2;
+    LeaseTable t({5}, p);
+    JobLease a;
+    ASSERT_EQ(t.claim(0.0, "w1", &a), ClaimOutcome::Granted);
+    t.tick(2.0); // expiry 1: requeued
+    JobLease b;
+    ASSERT_EQ(t.claim(10.0, "w2", &b), ClaimOutcome::Granted);
+    t.tick(20.0); // expiry 2: attempts exhausted, no survivor lease
+    EXPECT_TRUE(t.drained());
+    ASSERT_NE(t.finalErrorKind(0), nullptr);
+    EXPECT_EQ(*t.finalErrorKind(0), "worker_lost");
+}
+
+TEST(LeaseTable, BackoffBoundsAndDeterminism)
+{
+    LeasePolicy p;
+    p.backoffBaseSec = 0.5;
+    p.backoffCapSec = 30.0;
+    p.backoffJitterFrac = 0.25;
+    for (unsigned attempt = 2; attempt <= 10; ++attempt) {
+        double raw = p.backoffBaseSec;
+        for (unsigned k = 2; k < attempt; ++k) {
+            raw = std::min(p.backoffCapSec, raw * 2.0);
+        }
+        for (std::uint64_t hash : {0x1234ull, 0xdeadbeefull, 0x1ull}) {
+            double d = LeaseTable::backoffDelaySec(p, attempt, hash);
+            EXPECT_GE(d, raw) << "attempt " << attempt;
+            EXPECT_LT(d, raw * (1.0 + p.backoffJitterFrac) + 1e-9)
+                << "attempt " << attempt;
+            // Deterministic: the retry schedule is reproducible.
+            EXPECT_EQ(d, LeaseTable::backoffDelaySec(p, attempt, hash));
+        }
+    }
+    // The jitter seed covers (hash, attempt): different jobs retry at
+    // different offsets instead of stampeding together.
+    EXPECT_NE(LeaseTable::backoffDelaySec(p, 3, 42),
+              LeaseTable::backoffDelaySec(p, 3, 43));
+}
+
+TEST(LeaseTable, StragglerDuplicateFirstCompletionWins)
+{
+    LeasePolicy p = fastPolicy();
+    p.leaseTtlSec = 100.0; // never expires during the test
+    p.stragglerAfterSec = 0.5;
+    p.maxDuplicates = 1;
+    LeaseTable t({1, 2}, p);
+    JobLease a1;
+    JobLease a2;
+    ASSERT_EQ(t.claim(0.0, "slow", &a1), ClaimOutcome::Granted);
+    ASSERT_EQ(t.claim(0.0, "fast", &a2), ClaimOutcome::Granted);
+    EXPECT_EQ(t.push(0.2, a2.token, true, ""),
+              LeaseTable::Push::RecordedFinal);
+
+    // Too early for a duplicate: the lease is not a straggler yet.
+    JobLease d;
+    EXPECT_EQ(t.claim(0.3, "idle", &d), ClaimOutcome::NoWork);
+
+    // Once the lease is old enough, the idle worker gets a duplicate
+    // lease on the SAME job, same attempt accounting.
+    ASSERT_EQ(t.claim(1.0, "idle", &d), ClaimOutcome::Granted);
+    EXPECT_EQ(d.index, a1.index);
+    EXPECT_EQ(d.hash, a1.hash);
+    EXPECT_EQ(t.activeLeases(a1.index), 2u);
+
+    // maxDuplicates bounds the fan-out.
+    JobLease d2;
+    EXPECT_EQ(t.claim(2.0, "idle2", &d2), ClaimOutcome::NoWork);
+
+    // First completion wins; the loser is discarded as a duplicate.
+    EXPECT_EQ(t.push(2.5, d.token, true, ""),
+              LeaseTable::Push::RecordedFinal);
+    EXPECT_EQ(t.push(3.0, a1.token, true, ""), LeaseTable::Push::Duplicate);
+    EXPECT_TRUE(t.drained());
+    EXPECT_EQ(t.doneCount(), 2u);
+}
+
+TEST(LeaseTable, UnknownTokensAndResumeMarking)
+{
+    LeaseTable t({11, 22}, LeasePolicy{});
+    EXPECT_EQ(t.push(0.0, 0xbad, true, ""), LeaseTable::Push::Unknown);
+    EXPECT_FALSE(t.renew(0.0, 0xbad));
+    EXPECT_EQ(t.leaseIndex(0xbad), LeaseTable::npos);
+
+    // Checkpoint resume: marked jobs are never issued.
+    t.markDone(0);
+    JobLease a;
+    ASSERT_EQ(t.claim(0.0, "w", &a), ClaimOutcome::Granted);
+    EXPECT_EQ(a.index, 1u);
+    EXPECT_EQ(t.leaseIndex(a.token), 1u);
+    EXPECT_EQ(t.push(0.5, a.token, true, ""), LeaseTable::Push::RecordedFinal);
+    EXPECT_TRUE(t.drained());
+}
+
+// --- sweep spec ------------------------------------------------------------
+
+TEST(SweepSpec, JsonRoundTripAndDeterministicExpansion)
+{
+    SweepSpec s = tinySpec();
+    std::string json = sweepSpecToJson(s);
+    SweepSpec back;
+    std::string err;
+    ASSERT_TRUE(sweepSpecFromJson(json, &back, &err)) << err;
+    EXPECT_EQ(back.name, s.name);
+    EXPECT_EQ(back.warmupInstrs, s.warmupInstrs);
+    EXPECT_EQ(back.measureInstrs, s.measureInstrs);
+    EXPECT_EQ(back.workloads, s.workloads);
+    ASSERT_EQ(back.configs.size(), s.configs.size());
+    for (std::size_t i = 0; i < s.configs.size(); ++i) {
+        EXPECT_EQ(back.configs[i].label, s.configs[i].label);
+        EXPECT_EQ(back.configs[i].preset, s.configs[i].preset);
+        EXPECT_EQ(back.configs[i].ftq, s.configs[i].ftq);
+    }
+
+    // The determinism contract the whole protocol rests on: expanding
+    // the round-tripped spec yields the identical job hashes, so
+    // coordinator and workers agree on job identity.
+    std::vector<SweepJob> a;
+    std::vector<SweepJob> b;
+    ASSERT_TRUE(expandSweepSpec(s, &a, &err)) << err;
+    ASSERT_TRUE(expandSweepSpec(back, &b, &err)) << err;
+    ASSERT_EQ(a.size(), 4u); // workload-major: mw x 2 configs, drupal x 2
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(sweepJobHash(a[i], i), sweepJobHash(b[i], i));
+    }
+    EXPECT_EQ(a[0].profile.name, "mediawiki");
+    EXPECT_EQ(a[0].label, "fdip32");
+    EXPECT_EQ(a[1].label, "udp8k");
+    EXPECT_EQ(a[2].profile.name, "drupal");
+}
+
+TEST(SweepSpec, ParsesHandWrittenJsonWithWhitespace)
+{
+    // Spec files are hand-written: whitespace and newlines around
+    // colons and values must parse identically to the compact form.
+    std::string pretty = R"({
+        "name": "tiny",
+        "warmup_instrs": 5000,
+        "measure_instrs": 10000,
+        "workloads": ["mediawiki", "drupal"],
+        "configs": [
+            {"label": "fdip32", "preset": "fdip"},
+            {"label": "udp8k",  "preset": "udp8k"}
+        ]
+    })";
+    SweepSpec s;
+    std::string err;
+    ASSERT_TRUE(sweepSpecFromJson(pretty, &s, &err)) << err;
+    EXPECT_EQ(s.name, "tiny");
+    EXPECT_EQ(s.warmupInstrs, 5000u);
+    EXPECT_EQ(s.measureInstrs, 10000u);
+    std::vector<SweepJob> a;
+    std::vector<SweepJob> b;
+    ASSERT_TRUE(expandSweepSpec(s, &a, &err)) << err;
+    ASSERT_TRUE(expandSweepSpec(tinySpec(), &b, &err)) << err;
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(sweepJobHash(a[i], i), sweepJobHash(b[i], i));
+    }
+}
+
+TEST(SweepSpec, RejectsUnknownNamesAndMisappliedFtq)
+{
+    std::string err;
+    std::vector<SweepJob> jobs;
+    SweepSpec s = tinySpec();
+    s.workloads = {"no_such_workload"};
+    EXPECT_FALSE(expandSweepSpec(s, &jobs, &err));
+    EXPECT_NE(err.find("no_such_workload"), std::string::npos);
+
+    s = tinySpec();
+    s.configs = {{"x", "no_such_preset", 0}};
+    EXPECT_FALSE(expandSweepSpec(s, &jobs, &err));
+
+    // An FTQ depth override only makes sense for the fdip preset.
+    s = tinySpec();
+    s.configs = {{"x", "udp8k", 16}};
+    EXPECT_FALSE(expandSweepSpec(s, &jobs, &err));
+
+    SweepSpec bad;
+    EXPECT_FALSE(sweepSpecFromJson("not json at all", &bad, &err));
+}
+
+TEST(SweepSpec, WorkloadsAllExpandsEveryDatacenterProfile)
+{
+    SweepSpec s = tinySpec();
+    s.workloads = {"all"};
+    std::vector<SweepJob> jobs;
+    std::string err;
+    ASSERT_TRUE(expandSweepSpec(s, &jobs, &err)) << err;
+    EXPECT_EQ(jobs.size(), datacenterProfiles().size() * s.configs.size());
+}
+
+// --- filesystem queue ------------------------------------------------------
+
+std::vector<ManifestEntry>
+skeletons(const std::vector<SweepJob>& jobs)
+{
+    std::vector<ManifestEntry> sk(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        sk[i].hash = sweepJobHash(jobs[i], i);
+        sk[i].index = i;
+        sk[i].workload = jobs[i].profile.name;
+        sk[i].label = jobs[i].label;
+    }
+    return sk;
+}
+
+TEST(FsWorkQueue, DuplicateCompletionIsIdempotent)
+{
+    std::string dir = freshDir("fsdup");
+    std::vector<SweepJob> jobs = tinyJobs();
+    FsWorkQueue q(dir, 5.0);
+    std::string err;
+    ASSERT_TRUE(
+        q.seed(skeletons(jobs), sweepSpecToJson(tinySpec()), fastPolicy(),
+               &err))
+        << err;
+    ASSERT_TRUE(q.connect(&err)) << err;
+    EXPECT_EQ(q.totalJobs(), jobs.size());
+
+    JobLease a;
+    ASSERT_EQ(q.claim("w1", &a), ClaimOutcome::Granted);
+    EXPECT_TRUE(q.renew(a));
+
+    ManifestEntry done;
+    done.hash = a.hash;
+    done.index = a.index;
+    done.workload = jobs[a.index].profile.name;
+    done.label = jobs[a.index].label;
+    done.ok = true;
+    done.reportJson = "{}";
+    EXPECT_EQ(q.push(a, done), PushOutcome::Recorded);
+    // The same result delivered again — a straggler, or a worker whose
+    // lease expired but finished anyway — is discarded, not re-recorded.
+    EXPECT_EQ(q.push(a, done), PushOutcome::Duplicate);
+    EXPECT_EQ(q.doneCount(), 1u);
+}
+
+TEST(FsWorkQueue, ReseedingResumesFromDoneEntries)
+{
+    std::string dir = freshDir("fsresume");
+    std::vector<SweepJob> jobs = tinyJobs();
+    std::vector<ManifestEntry> sk = skeletons(jobs);
+    std::string spec = sweepSpecToJson(tinySpec());
+    std::string err;
+
+    {
+        FsWorkQueue q(dir, 5.0);
+        ASSERT_TRUE(q.seed(sk, spec, fastPolicy(), &err)) << err;
+        JobLease a;
+        ASSERT_EQ(q.claim("w1", &a), ClaimOutcome::Granted);
+        ManifestEntry done = sk[a.index];
+        done.ok = true;
+        done.reportJson = "{}";
+        EXPECT_EQ(q.push(a, done), PushOutcome::Recorded);
+    }
+
+    // A restarted coordinator seeding the same directory keeps the
+    // recorded completion and only re-issues the rest.
+    FsWorkQueue q2(dir, 5.0);
+    ASSERT_TRUE(q2.seed(sk, spec, fastPolicy(), &err)) << err;
+    EXPECT_EQ(q2.doneCount(), 1u);
+    std::size_t granted = 0;
+    for (;;) {
+        JobLease l;
+        ClaimOutcome c = q2.claim("w2", &l);
+        if (c != ClaimOutcome::Granted) {
+            break;
+        }
+        ++granted;
+        ManifestEntry done = sk[l.index];
+        done.ok = true;
+        done.reportJson = "{}";
+        q2.push(l, done);
+    }
+    EXPECT_EQ(granted, jobs.size() - 1);
+    EXPECT_EQ(q2.doneCount(), jobs.size());
+    JobLease l;
+    EXPECT_EQ(q2.claim("w2", &l), ClaimOutcome::Drained);
+}
+
+// --- coordinator + worker integration --------------------------------------
+
+TEST(Sweepd, FsDistributedRunIsByteIdenticalToSerial)
+{
+    std::vector<SweepJob> jobs = tinyJobs();
+    std::vector<std::string> reference = serialReference(jobs);
+
+    CoordinatorOptions co;
+    co.policy = fastPolicy();
+    co.endpoint = freshDir("fsrun") + "/q";
+    co.specJson = sweepSpecToJson(tinySpec());
+    co.pollSec = 0.02;
+    co.quiet = true;
+    SweepCoordinator coord(jobs, co);
+    std::string err;
+    ASSERT_TRUE(coord.start(&err)) << err;
+
+    std::thread worker([&] {
+        std::string werr;
+        auto q = openWorkQueue(coord.endpoint(), 5.0, &werr);
+        ASSERT_NE(q, nullptr) << werr;
+        WorkerOptions wo;
+        wo.name = "t1";
+        wo.quiet = true;
+        runSweepWorker(*q, jobs, wo);
+    });
+    std::vector<JobResult> results = coord.run();
+    worker.join();
+    expectByteIdentical(jobs, results, reference);
+}
+
+TEST(Sweepd, TcpDistributedRunIsByteIdenticalToSerial)
+{
+    std::vector<SweepJob> jobs = tinyJobs();
+    std::vector<std::string> reference = serialReference(jobs);
+
+    CoordinatorOptions co;
+    co.policy = fastPolicy();
+    co.endpoint = "tcp:127.0.0.1:0";
+    co.specJson = sweepSpecToJson(tinySpec());
+    co.pollSec = 0.02;
+    co.quiet = true;
+    SweepCoordinator coord(jobs, co);
+    std::string err;
+    ASSERT_TRUE(coord.start(&err)) << err;
+    ASSERT_GT(coord.port(), 0);
+
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 2; ++w) {
+        workers.emplace_back([&, w] {
+            std::string werr;
+            auto q = openWorkQueue(coord.endpoint(), 5.0, &werr);
+            ASSERT_NE(q, nullptr) << werr;
+            WorkerOptions wo;
+            wo.name = "t" + std::to_string(w);
+            wo.quiet = true;
+            runSweepWorker(*q, jobs, wo);
+        });
+    }
+    std::vector<JobResult> results = coord.run();
+    for (auto& t : workers) {
+        t.join();
+    }
+    expectByteIdentical(jobs, results, reference);
+}
+
+TEST(Sweepd, CoordinatorRestartResumesFromManifest)
+{
+    std::vector<SweepJob> jobs = tinyJobs();
+    std::vector<std::string> reference = serialReference(jobs);
+    std::string dir = freshDir("resume");
+    std::string manifestPath = dir + "/manifest.jsonl";
+
+    // "First run": two jobs completed before the coordinator died. The
+    // manifest is all that survives.
+    {
+        SweepManifest m;
+        ASSERT_TRUE(m.open(manifestPath, false));
+        for (std::size_t i = 0; i < 2; ++i) {
+            ManifestEntry e;
+            e.hash = sweepJobHash(jobs[i], i);
+            e.index = i;
+            e.workload = jobs[i].profile.name;
+            e.label = jobs[i].label;
+            e.ok = true;
+            e.reportJson = reference[i];
+            m.record(e);
+        }
+        m.close();
+    }
+
+    // Restarted coordinator: resumes the two completed jobs and only
+    // issues the remaining two to its worker.
+    CoordinatorOptions co;
+    co.policy = fastPolicy();
+    co.endpoint = dir + "/q";
+    co.specJson = sweepSpecToJson(tinySpec());
+    co.manifestPath = manifestPath;
+    co.resume = true;
+    co.pollSec = 0.02;
+    co.quiet = true;
+    SweepCoordinator coord(jobs, co);
+    std::string err;
+    ASSERT_TRUE(coord.start(&err)) << err;
+
+    WorkerSummary summary;
+    std::thread worker([&] {
+        std::string werr;
+        auto q = openWorkQueue(coord.endpoint(), 5.0, &werr);
+        ASSERT_NE(q, nullptr) << werr;
+        WorkerOptions wo;
+        wo.name = "t1";
+        wo.quiet = true;
+        summary = runSweepWorker(*q, jobs, wo);
+    });
+    std::vector<JobResult> results = coord.run();
+    worker.join();
+
+    EXPECT_EQ(summary.executed, 2u) << "resumed jobs must not re-run";
+    ASSERT_EQ(results.size(), jobs.size());
+    EXPECT_TRUE(results[0].resumed);
+    EXPECT_TRUE(results[1].resumed);
+    EXPECT_FALSE(results[2].resumed);
+    expectByteIdentical(jobs, results, reference);
+}
+
+#ifndef _WIN32
+
+/** Forks a worker process against @p endpoint; returns its pid. */
+pid_t
+forkWorker(const std::string& endpoint, const std::vector<SweepJob>& jobs,
+           const std::string& name, unsigned jobDelayMs)
+{
+    pid_t pid = ::fork();
+    if (pid != 0) {
+        return pid;
+    }
+    std::string err;
+    auto q = openWorkQueue(endpoint, 5.0, &err);
+    if (q == nullptr) {
+        ::_exit(2);
+    }
+    WorkerOptions wo;
+    wo.name = name;
+    wo.quiet = true;
+    wo.jobDelayMs = jobDelayMs;
+    WorkerSummary s = runSweepWorker(*q, jobs, wo);
+    ::_exit(s.queueLost ? 3 : 0);
+}
+
+/**
+ * The acceptance scenario: a sweep distributed across two worker
+ * processes, one SIGKILLed mid-job. The lease expires, the job is
+ * reclaimed and retried, the sweep completes every job, and the merged
+ * Reports are byte-identical to the serial in-process run.
+ */
+TEST(Sweepd, SigkilledWorkerIsReclaimedAndRunStaysByteIdentical)
+{
+    if (!procIsolationSupported()) {
+        GTEST_SKIP() << "no fork() on this platform";
+    }
+    std::vector<SweepJob> jobs = tinyJobs();
+    std::vector<std::string> reference = serialReference(jobs);
+
+    CoordinatorOptions co;
+    co.policy = fastPolicy(); // 1 s lease TTL
+    co.endpoint = freshDir("chaos") + "/q";
+    co.specJson = sweepSpecToJson(tinySpec());
+    co.pollSec = 0.02;
+    co.quiet = true;
+    SweepCoordinator coord(jobs, co);
+    std::string err;
+    ASSERT_TRUE(coord.start(&err)) << err;
+
+    // The victim stalls 10 s before every job, so it dies holding an
+    // unfinished lease; the survivor runs normally.
+    pid_t victim = forkWorker(coord.endpoint(), jobs, "victim", 10'000);
+    ASSERT_GT(victim, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+    pid_t survivor = forkWorker(coord.endpoint(), jobs, "survivor", 0);
+    ASSERT_GT(survivor, 0);
+
+    std::vector<JobResult> results = coord.run();
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(victim, &status, 0), victim);
+    EXPECT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+    ASSERT_EQ(::waitpid(survivor, &status, 0), survivor);
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+
+    expectByteIdentical(jobs, results, reference);
+}
+
+#endif // !_WIN32
+
+} // namespace
+} // namespace udp
