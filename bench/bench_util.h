@@ -16,12 +16,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include <chrono>
 
+#include "obs/eventlog.h"
 #include "sim/faultinject.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
@@ -93,6 +95,12 @@ struct SinkArgs
     std::string tracePath;         ///< --trace-out Chrome-trace destination
     std::uint64_t telemetryInterval = 0; ///< 0 = TelemetryConfig default
 
+    /** --profile: enable the cycle-loop self-profiler on every job and
+     *  emit per-component host-time attribution (stdout summary + a
+     *  "<artifact-stem>.profile.jsonl" sidecar of profile_summary rows;
+     *  Report/CSV artifacts stay byte-identical). */
+    bool profile = false;
+
     // --- distributed execution (docs/ROBUSTNESS.md §10) ----------------
     /** --coordinator ENDPOINT: serve this bench's batch as a distributed
      *  sweep ("tcp:HOST:PORT", port 0 = ephemeral, or a queue directory)
@@ -145,6 +153,8 @@ parseSinkArgs(int argc, char** argv,
             s.tracePath = argv[++i];
         } else if (a == "--telemetry-interval" && i + 1 < argc) {
             s.telemetryInterval = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--profile") {
+            s.profile = true;
         } else if (a == "--coordinator" && i + 1 < argc) {
             s.coordinator = argv[++i];
         } else if (a == "--worker-of" && i + 1 < argc) {
@@ -258,6 +268,28 @@ applyTelemetry(std::vector<SweepJob>* jobs, const SinkArgs& args)
 }
 
 /**
+ * Enables the cycle-loop self-profiler (obs/profiler.h) on every job when
+ * --profile was passed. Same fork-boundary caveat as telemetry: snapshots
+ * cannot cross the --isolate result pipe, so isolation wins.
+ */
+inline void
+applyProfile(std::vector<SweepJob>* jobs, const SinkArgs& args)
+{
+    if (!args.profile) {
+        return;
+    }
+    if (args.isolate) {
+        std::fprintf(stderr,
+                     "[bench] --profile ignored with --isolate: profiler "
+                     "snapshots do not cross the process boundary\n");
+        return;
+    }
+    for (SweepJob& job : *jobs) {
+        job.config.profile.enabled = true;
+    }
+}
+
+/**
  * Fault-tolerant sweep used by every bench: a crashing or hanging point
  * never aborts the figure. Failed points get diagnostic dumps under
  * kFailureDumpDir and surface through writeArtifactsChecked()'s exit
@@ -315,11 +347,12 @@ runBenchWorker(const std::vector<SweepJob>& jobs, const SinkArgs& args)
     }
     WorkerSummary s = runSweepWorker(*q, jobs, wo);
     if (s.executed != 0 || s.flushedLocal != 0) {
-        std::fprintf(stderr,
-                     "[bench] worker %s: %zu executed, %zu recorded, "
-                     "%zu duplicate(s), %zu flushed locally\n",
-                     wo.name.c_str(), s.executed, s.completed,
-                     s.duplicates, s.flushedLocal);
+        obs::Event(obs::LogLevel::Info, wo.name, "worker_summary")
+            .u64("executed", s.executed)
+            .u64("recorded", s.completed)
+            .u64("duplicates", s.duplicates)
+            .u64("flushed_local", s.flushedLocal)
+            .emit();
     }
     std::exit(s.queueLost ? 3 : 0);
 }
@@ -329,6 +362,11 @@ inline std::vector<JobResult>
 runBenchCoordinated(std::vector<SweepJob> jobs, const SinkArgs& args)
 {
     CoordinatorOptions co;
+    if (const char* n = std::getenv("UDP_SWEEP_NAME")) {
+        co.name = n;
+    } else {
+        co.name = "bench";
+    }
     co.endpoint = args.coordinator;
     co.manifestPath = defaultManifestPath(args);
     co.resume = args.resume && !co.manifestPath.empty();
@@ -347,11 +385,12 @@ runBenchCoordinated(std::vector<SweepJob> jobs, const SinkArgs& args)
                      args.coordinator.c_str(), err.c_str());
         std::exit(2);
     }
-    std::fprintf(stderr,
-                 "[bench] coordinating %zu job(s) at %s (workers: re-run "
-                 "this binary with --worker-of %s)\n",
-                 coord.totalJobs(), coord.endpoint().c_str(),
-                 coord.endpoint().c_str());
+    obs::Event(obs::LogLevel::Info, "bench", "coordinating")
+        .u64("jobs", coord.totalJobs())
+        .str("endpoint", coord.endpoint())
+        .str("hint", "re-run this binary with --worker-of " +
+                         coord.endpoint())
+        .emit();
     return coord.run();
 }
 
@@ -360,6 +399,7 @@ runBenchSweep(std::vector<SweepJob> jobs, const SinkArgs& args)
 {
     applyEnvFault(&jobs);
     applyTelemetry(&jobs, args);
+    applyProfile(&jobs, args);
     if (!args.workerOf.empty()) {
         runBenchWorker(jobs, args); // exits the process
     }
@@ -595,16 +635,20 @@ writeTelemetryArtifacts(const SinkArgs& args,
     }
     std::vector<TraceJob> traceJobs;
     for (std::size_t i = 0; i < results.size(); ++i) {
-        if (!results[i].ok || !results[i].report.telemetry) {
+        if (!results[i].ok) {
             continue;
         }
         const auto& snap = results[i].report.telemetry;
-        if (sink.active()) {
+        const auto& prof = results[i].report.profile;
+        if (!snap && !prof) {
+            continue;
+        }
+        if (snap && sink.active()) {
             sink.writeRun(jobs[i].profile.name, jobs[i].label, *snap);
         }
         if (!args.tracePath.empty()) {
             traceJobs.push_back(
-                {jobs[i].profile.name + "/" + jobs[i].label, snap});
+                {jobs[i].profile.name + "/" + jobs[i].label, snap, prof});
         }
     }
     sink.close();
@@ -616,6 +660,85 @@ writeTelemetryArtifacts(const SinkArgs& args,
             std::printf("Chrome trace written to %s (load in "
                         "chrome://tracing or ui.perfetto.dev)\n",
                         args.tracePath.c_str());
+        }
+    }
+}
+
+/**
+ * "<artifact-stem>.profile.jsonl" sidecar path for --profile summaries:
+ * derived from --json (preferred) or --csv. Profile rows never go into
+ * the report artifact itself, so figure outputs stay byte-identical
+ * whether or not the profiler ran.
+ */
+inline std::string
+profileJsonlPath(const SinkArgs& args)
+{
+    std::string base =
+        !args.jsonPath.empty() ? args.jsonPath : args.csvPath;
+    if (base.empty()) {
+        return std::string();
+    }
+    for (const char* e : {".jsonl", ".json", ".csv"}) {
+        std::size_t n = std::strlen(e);
+        if (base.size() > n &&
+            base.compare(base.size() - n, n, e) == 0) {
+            base.erase(base.size() - n);
+            break;
+        }
+    }
+    return base + ".profile.jsonl";
+}
+
+/**
+ * --profile tail: prints a per-job phase-attribution summary and, when a
+ * report artifact path is known, writes one profile_summary row per
+ * successful job to the "<artifact-stem>.profile.jsonl" sidecar.
+ */
+inline void
+writeProfileArtifacts(const SinkArgs& args,
+                      const std::vector<SweepJob>& jobs,
+                      const std::vector<JobResult>& results)
+{
+    if (!args.profile) {
+        return;
+    }
+    std::string path = profileJsonlPath(args);
+    std::FILE* f =
+        path.empty() ? nullptr : std::fopen(path.c_str(), "w");
+    bool wroteAny = false;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok || !results[i].report.profile) {
+            continue;
+        }
+        const obs::ProfileSnapshot& p = *results[i].report.profile;
+        std::printf("[profile] %s/%s: %.3fs host for %llu cycles (",
+                    jobs[i].profile.name.c_str(), jobs[i].label.c_str(),
+                    p.totalSec,
+                    static_cast<unsigned long long>(p.cycles));
+        for (std::size_t ph = 0; ph < obs::kNumProfPhases; ++ph) {
+            std::printf("%s%s %.1f%%", ph == 0 ? "" : ", ",
+                        obs::profPhaseName(
+                            static_cast<obs::ProfPhase>(ph)),
+                        p.phaseFrac(static_cast<obs::ProfPhase>(ph)) *
+                            100.0);
+        }
+        std::printf(")\n");
+        if (f != nullptr) {
+            std::string row = profileSummaryToJsonLine(
+                jobs[i].profile.name, jobs[i].label, p);
+            row += '\n';
+            wroteAny =
+                std::fwrite(row.data(), 1, row.size(), f) == row.size() ||
+                wroteAny;
+        }
+    }
+    if (f != nullptr) {
+        std::fclose(f);
+        if (wroteAny) {
+            std::printf("Profile summary rows written to %s\n",
+                        path.c_str());
+        } else {
+            std::remove(path.c_str());
         }
     }
 }
@@ -646,6 +769,7 @@ writeArtifactsChecked(const SinkArgs& args, const std::vector<SweepJob>& jobs,
     }
     int rc = finishArtifacts(args, ok, failures);
     writeTelemetryArtifacts(args, jobs, results);
+    writeProfileArtifacts(args, jobs, results);
     if (skipped != 0) {
         std::fprintf(stderr,
                      "[bench] interrupted: %zu point(s) skipped; re-run "

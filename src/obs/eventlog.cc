@@ -1,0 +1,240 @@
+#include "obs/eventlog.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "stats/sink.h"
+
+namespace udp::obs {
+
+namespace {
+
+double
+monotonicSec()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::uint64_t
+wallMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+std::string
+fieldValueJson(const EventLog::Field& f)
+{
+    switch (f.type) {
+    case EventLog::Field::Type::Str:
+        return "\"" + jsonEscape(f.str) + "\"";
+    case EventLog::Field::Type::U64: return std::to_string(f.u64);
+    case EventLog::Field::Type::I64: return std::to_string(f.i64);
+    case EventLog::Field::Type::F64: return formatNumber(f.f64);
+    }
+    return "null";
+}
+
+std::string
+fieldValueHuman(const EventLog::Field& f)
+{
+    switch (f.type) {
+    case EventLog::Field::Type::Str: return f.str;
+    case EventLog::Field::Type::U64: return std::to_string(f.u64);
+    case EventLog::Field::Type::I64: return std::to_string(f.i64);
+    case EventLog::Field::Type::F64: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3g", f.f64);
+        return buf;
+    }
+    }
+    return "";
+}
+
+} // namespace
+
+const char*
+logLevelName(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+EventLog&
+EventLog::global()
+{
+    static EventLog* log = [] {
+        auto* l = new EventLog();
+        if (const char* path = std::getenv("UDP_EVENT_LOG");
+            path != nullptr && *path != '\0') {
+            l->openSink(path);
+        }
+        if (const char* lvl = std::getenv("UDP_LOG_LEVEL");
+            lvl != nullptr && *lvl != '\0') {
+            if (std::strcmp(lvl, "debug") == 0) {
+                l->setStderrLevel(LogLevel::Debug);
+            } else if (std::strcmp(lvl, "info") == 0) {
+                l->setStderrLevel(LogLevel::Info);
+            } else if (std::strcmp(lvl, "warn") == 0) {
+                l->setStderrLevel(LogLevel::Warn);
+            } else if (std::strcmp(lvl, "error") == 0) {
+                l->setStderrLevel(LogLevel::Error);
+            }
+        }
+        return l;
+    }();
+    return *log;
+}
+
+void
+EventLog::setStderrLevel(LogLevel level)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    stderrLevel_ = level;
+}
+
+void
+EventLog::setSinkLevel(LogLevel level)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    sinkLevel_ = level;
+}
+
+bool
+EventLog::openSink(const std::string& path)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    if (sink_.is_open()) {
+        sink_.close();
+    }
+    sink_.open(path, std::ios::out | std::ios::app);
+    return sink_.is_open();
+}
+
+void
+EventLog::closeSink()
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    if (sink_.is_open()) {
+        sink_.close();
+    }
+}
+
+void
+EventLog::flushRingLocked()
+{
+    if (!sink_.is_open()) {
+        return;
+    }
+    for (RingEntry& e : ring_) {
+        if (!e.sunk) {
+            sink_ << e.jsonLine << '\n';
+            e.sunk = true;
+        }
+    }
+    sink_.flush();
+}
+
+void
+EventLog::emit(LogLevel level, const std::string& source,
+               const std::string& event, const std::vector<Field>& fields,
+               double rateLimitSec, bool force)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+
+    if (rateLimitSec > 0.0 && !force) {
+        std::string key = source + "/" + event;
+        double now = monotonicSec();
+        auto it = lastEmit_.find(key);
+        if (it != lastEmit_.end() && now - it->second < rateLimitSec) {
+            ++rateDrops_;
+            return;
+        }
+        lastEmit_[key] = now;
+    } else if (rateLimitSec > 0.0) {
+        // Forced emission still arms the window so the next unforced
+        // repeat is throttled against it.
+        lastEmit_[source + "/" + event] = monotonicSec();
+    }
+
+    // JSONL record: fixed header keys, then the caller's fields in order.
+    std::string json = "{\"ts_ms\":" + std::to_string(wallMs()) +
+                       ",\"level\":\"" + logLevelName(level) +
+                       "\",\"source\":\"" + jsonEscape(source) +
+                       "\",\"event\":\"" + jsonEscape(event) + "\"";
+    for (const Field& f : fields) {
+        json += ",\"" + jsonEscape(f.key) + "\":" + fieldValueJson(f);
+    }
+    json += "}";
+
+    bool sunk = false;
+    if (sink_.is_open() && level >= sinkLevel_) {
+        sink_ << json << '\n';
+        sink_.flush();
+        sunk = true;
+    }
+
+    ring_.push_back(RingEntry{json, level, sunk});
+    if (ring_.size() > kRingCapacity) {
+        ring_.pop_front();
+    }
+    if (level == LogLevel::Error) {
+        flushRingLocked();
+    }
+
+    if (level >= stderrLevel_) {
+        // Assemble the whole human line, then hand it to stderr as ONE
+        // write: short single writes are atomic on POSIX pipes/terminals,
+        // so parallel workers sharing the fd never interleave mid-line.
+        std::string line = "[";
+        line += source;
+        line += "] ";
+        if (level == LogLevel::Warn) {
+            line += "warning: ";
+        } else if (level == LogLevel::Error) {
+            line += "error: ";
+        }
+        line += event;
+        for (const Field& f : fields) {
+            line += " ";
+            line += f.key;
+            line += "=";
+            line += fieldValueHuman(f);
+        }
+        line += "\n";
+        std::fwrite(line.data(), 1, line.size(), stderr);
+        std::fflush(stderr);
+    }
+}
+
+std::vector<std::string>
+EventLog::recentLines() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    std::vector<std::string> out;
+    out.reserve(ring_.size());
+    for (const RingEntry& e : ring_) {
+        out.push_back(e.jsonLine);
+    }
+    return out;
+}
+
+std::uint64_t
+EventLog::rateLimitedDrops() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return rateDrops_;
+}
+
+} // namespace udp::obs

@@ -1,0 +1,140 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace udp::obs {
+
+std::uint64_t
+Log2Histogram::count() const
+{
+    std::uint64_t n = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        n += buckets_[b].load(std::memory_order_relaxed);
+    }
+    return n;
+}
+
+std::uint64_t
+Log2Histogram::percentile(double p) const
+{
+    std::uint64_t counts[kBuckets];
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        counts[b] = buckets_[b].load(std::memory_order_relaxed);
+        total += counts[b];
+    }
+    if (total == 0) {
+        return 0;
+    }
+    if (p < 0.0) {
+        p = 0.0;
+    }
+    if (p > 100.0) {
+        p = 100.0;
+    }
+    // Rank of the sample at percentile p, 1-based; p=0 maps to rank 1 so
+    // it lands in the smallest non-empty bucket.
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(total)));
+    if (rank == 0) {
+        rank = 1;
+    }
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        seen += counts[b];
+        if (seen >= rank) {
+            return bucketUpper(b);
+        }
+    }
+    return bucketUpper(kBuckets - 1);
+}
+
+Registry&
+Registry::global()
+{
+    static Registry r;
+    return r;
+}
+
+Counter&
+Registry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    auto& slot = counters_[name];
+    if (!slot) {
+        slot = std::make_unique<Counter>();
+    }
+    return *slot;
+}
+
+Gauge&
+Registry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    auto& slot = gauges_[name];
+    if (!slot) {
+        slot = std::make_unique<Gauge>();
+    }
+    return *slot;
+}
+
+Log2Histogram&
+Registry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    auto& slot = hists_[name];
+    if (!slot) {
+        slot = std::make_unique<Log2Histogram>();
+    }
+    return *slot;
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+Registry::snapshot() const
+{
+    std::vector<std::pair<std::string, std::int64_t>> out;
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        out.reserve(counters_.size() + gauges_.size() + hists_.size() * 4);
+        for (const auto& [name, c] : counters_) {
+            out.emplace_back(name, static_cast<std::int64_t>(c->value()));
+        }
+        for (const auto& [name, g] : gauges_) {
+            out.emplace_back(name, g->value());
+        }
+        for (const auto& [name, h] : hists_) {
+            out.emplace_back(name + ".count",
+                             static_cast<std::int64_t>(h->count()));
+            out.emplace_back(name + ".sum",
+                             static_cast<std::int64_t>(h->sum()));
+            out.emplace_back(name + ".p50",
+                             static_cast<std::int64_t>(h->percentile(50)));
+            out.emplace_back(name + ".p99",
+                             static_cast<std::int64_t>(h->percentile(99)));
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+Registry::snapshotJson() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [name, value] : snapshot()) {
+        if (!first) {
+            out += ",";
+        }
+        first = false;
+        out += "\"";
+        out += name; // metric names are code-chosen identifiers, no escapes
+        out += "\":";
+        out += std::to_string(value);
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace udp::obs

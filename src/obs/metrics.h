@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Process-wide metrics registry (docs/OBSERVABILITY.md).
+ *
+ * One registry per process holds named counters, gauges and log2
+ * histograms shared by the simulator, the sweep engine, the distributed
+ * coordinator/worker and the bench binaries. Registration (name lookup)
+ * takes a mutex once per call site; the returned reference is stable for
+ * the registry's lifetime, so hot paths cache it and every subsequent
+ * increment is a single relaxed atomic RMW — no locks, safe from any
+ * thread.
+ *
+ * Snapshots flatten everything into sorted (name, value) pairs: counters
+ * and gauges by name, histograms as derived ".count"/".sum"/".p50"/
+ * ".p99" keys. The coordinator embeds a snapshot in its STATUS JSON so
+ * udp_top can show fleet-side rates without extra plumbing.
+ */
+
+#ifndef UDP_OBS_METRICS_H
+#define UDP_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace udp::obs {
+
+/** Monotonic event count. Increments are lock-free (relaxed atomics). */
+class Counter
+{
+  public:
+    void add(std::uint64_t d = 1)
+    {
+        v_.fetch_add(d, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/** Last-write-wins instantaneous value (queue depths, worker counts). */
+class Gauge
+{
+  public:
+    void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+    void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+    std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+/**
+ * Power-of-two bucketed histogram of non-negative integer samples
+ * (latencies in ms/us, sizes, attempt counts). Bucket b holds values in
+ * [2^(b-1), 2^b); value 0 has its own bucket. observe() is two relaxed
+ * atomic RMWs — concurrent observers never lose counts.
+ */
+class Log2Histogram
+{
+  public:
+    /** Bucket 0 = value 0; buckets 1..64 = bit_width(value). */
+    static constexpr std::size_t kBuckets = 65;
+
+    void observe(std::uint64_t v)
+    {
+        buckets_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+    }
+
+    std::uint64_t count() const;
+    std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+    std::uint64_t bucketCount(std::size_t b) const
+    {
+        return buckets_[b].load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Value at percentile @p p in [0, 100]: the inclusive upper bound of
+     * the bucket holding the rank-ceil(p/100 * count) sample (so p=0 is
+     * the smallest observed bucket, p=100 the largest). 0 when empty.
+     */
+    std::uint64_t percentile(double p) const;
+
+    static std::size_t bucketOf(std::uint64_t v)
+    {
+        std::size_t b = 0;
+        while (v != 0) {
+            ++b;
+            v >>= 1;
+        }
+        return b;
+    }
+
+    /** Inclusive upper bound of bucket @p b. */
+    static std::uint64_t bucketUpper(std::size_t b)
+    {
+        if (b == 0) {
+            return 0;
+        }
+        if (b >= 64) {
+            return ~0ull;
+        }
+        return (1ull << b) - 1;
+    }
+
+  private:
+    std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+/**
+ * The named-metric registry. counter()/gauge()/histogram() find or
+ * create the metric under a mutex and return a reference that stays
+ * valid for the registry's lifetime; concurrent callers racing to
+ * register the same name get the same object.
+ */
+class Registry
+{
+  public:
+    /** The process-wide registry. */
+    static Registry& global();
+
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Log2Histogram& histogram(const std::string& name);
+
+    /**
+     * Flattened snapshot, sorted by key. Counters/gauges appear under
+     * their name; each histogram contributes "<name>.count",
+     * "<name>.sum", "<name>.p50" and "<name>.p99".
+     */
+    std::vector<std::pair<std::string, std::int64_t>> snapshot() const;
+
+    /** snapshot() as one stable-order JSON object. */
+    std::string snapshotJson() const;
+
+  private:
+    mutable std::mutex mtx_;
+    std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+    std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::unordered_map<std::string, std::unique_ptr<Log2Histogram>> hists_;
+};
+
+/** Shorthands against the global registry. */
+inline Counter&
+counter(const std::string& name)
+{
+    return Registry::global().counter(name);
+}
+
+inline Gauge&
+gauge(const std::string& name)
+{
+    return Registry::global().gauge(name);
+}
+
+inline Log2Histogram&
+histogram(const std::string& name)
+{
+    return Registry::global().histogram(name);
+}
+
+} // namespace udp::obs
+
+#endif // UDP_OBS_METRICS_H

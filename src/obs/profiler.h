@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Cycle-loop self-profiler (docs/OBSERVABILITY.md §profiler).
+ *
+ * Attributes the simulator's *own* wall-clock — where does a simulated
+ * cycle's host time go? — to coarse pipeline phases: icache/memory,
+ * backend, fetch, branch prediction, prefetcher, other. This is the
+ * measurement layer ROADMAP item 1 needs before optimizing the loop:
+ * every perf PR can show where time moved, not just how much.
+ *
+ * Design: a phase-SWITCHING timer, not nested scoped timers. Cpu::cycle()
+ * calls phase(p) at each section boundary; the elapsed time since the
+ * previous switch is charged to the phase being *left*. One steady_clock
+ * read per switch (~7 reads/cycle when enabled), and every nanosecond
+ * between beginCycle() and endCycle() lands in exactly one phase — so
+ * per-phase attribution sums to the measured loop time by construction.
+ *
+ * Compiled in unconditionally; gated at runtime by a raw-pointer null
+ * check in Cpu::cycle() exactly like Telemetry, so the disabled cost is
+ * one predictable branch per call site. Results ride on the Report as a
+ * shared_ptr side-channel (outside the serialized stat schema), keeping
+ * all artifacts byte-identical whether profiling is on or off.
+ */
+
+#ifndef UDP_OBS_PROFILER_H
+#define UDP_OBS_PROFILER_H
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace udp {
+
+namespace obs {
+
+/** Wall-time attribution buckets for one simulated cycle. */
+enum class ProfPhase : std::uint8_t
+{
+    Icache = 0,  ///< MemSystem::tick (caches, MSHRs, fill buffers)
+    Backend,     ///< Backend::tick + resteer handling + dispatch
+    Fetch,       ///< FetchStage::tick (fetch + decode pipe)
+    Bpred,       ///< DecoupledFrontend::tick (BPU-driven FTQ fill)
+    Prefetch,    ///< FdipEngine::tick + UDP/UFTQ maintenance
+    Other,       ///< fault hooks, telemetry, watchdog, loop remainder
+};
+
+inline constexpr std::size_t kNumProfPhases = 6;
+
+const char* profPhaseName(ProfPhase p);
+
+/** One profiler reporting interval (ProfileConfig::intervalCycles). */
+struct ProfileIntervalRow
+{
+    Cycle cycleStart = 0;
+    Cycle cycleEnd = 0;
+    double phaseSec[kNumProfPhases] = {};
+    double totalSec() const;
+};
+
+/** End-of-window profile attached to Report::profile. */
+struct ProfileSnapshot
+{
+    double phaseSec[kNumProfPhases] = {};
+    double totalSec = 0.0; ///< sum of phaseSec (the attributed loop time)
+    std::uint64_t cycles = 0;
+    std::vector<ProfileIntervalRow> intervals;
+
+    /** Fraction of attributed time in @p p (0 when nothing measured). */
+    double phaseFrac(ProfPhase p) const;
+};
+
+class CycleProfiler
+{
+  public:
+    explicit CycleProfiler(Cycle intervalCycles)
+        : intervalCycles_(intervalCycles != 0 ? intervalCycles : 100000)
+    {
+    }
+
+    /** Starts a cycle: the clock starts ticking against Other. */
+    void beginCycle(Cycle now)
+    {
+        nowCycle_ = now;
+        if (cycles_ == 0 && intervals_.empty()) {
+            windowStartCycle_ = now;
+            intervalStartCycle_ = now;
+        }
+        last_ = Clock::now();
+        cur_ = ProfPhase::Other;
+        inCycle_ = true;
+    }
+
+    /** Charges time since the last switch to the current phase, then
+     *  switches to @p p. */
+    void phase(ProfPhase p)
+    {
+        Clock::time_point t = Clock::now();
+        acc_[static_cast<std::size_t>(cur_)] +=
+            std::chrono::duration<double>(t - last_).count();
+        last_ = t;
+        cur_ = p;
+    }
+
+    /** Ends the cycle: charges the trailing segment to the phase that is
+     *  still open and closes the interval when due. */
+    void endCycle()
+    {
+        phase(ProfPhase::Other);
+        inCycle_ = false;
+        ++cycles_;
+        if (nowCycle_ - intervalStartCycle_ + 1 >= intervalCycles_) {
+            closeInterval();
+        }
+    }
+
+    /** Resets the measurement window (Cpu::clearStats). */
+    void clearStats();
+
+    /** Copy of the window so far; a trailing partial interval is closed
+     *  into the copy without perturbing live state. */
+    std::shared_ptr<const ProfileSnapshot> snapshot() const;
+
+    std::uint64_t cycles() const { return cycles_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    void closeInterval();
+
+    Cycle intervalCycles_;
+    Clock::time_point last_{};
+    ProfPhase cur_ = ProfPhase::Other;
+    bool inCycle_ = false;
+    double acc_[kNumProfPhases] = {};   ///< current (open) interval
+    double total_[kNumProfPhases] = {}; ///< whole window
+    Cycle windowStartCycle_ = 0;
+    Cycle intervalStartCycle_ = 0;
+    Cycle nowCycle_ = 0;
+    std::uint64_t cycles_ = 0;
+    std::vector<ProfileIntervalRow> intervals_;
+};
+
+} // namespace obs
+
+/** Simulator self-profiling knobs (SimConfig::profile). */
+struct ProfileConfig
+{
+    bool enabled = false;
+    /** Cycles per reporting interval (Chrome-trace counter cadence). */
+    Cycle intervalCycles = 100000;
+};
+
+} // namespace udp
+
+#endif // UDP_OBS_PROFILER_H

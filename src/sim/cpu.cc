@@ -5,6 +5,25 @@
 #include "sim/invariants.h"
 #include "sim/simerror.h"
 
+/**
+ * Self-profiler hook: a predictable null check when compiled in (the
+ * default) and nothing at all under -DUDP_NO_SELF_PROFILER — CI builds
+ * that baseline to measure the off-mode cost of the compiled-in hooks
+ * (docs/OBSERVABILITY.md).
+ */
+#ifdef UDP_NO_SELF_PROFILER
+#define UDP_PROF(call)                                                       \
+    do {                                                                     \
+    } while (0)
+#else
+#define UDP_PROF(call)                                                       \
+    do {                                                                     \
+        if (profiler_) {                                                     \
+            profiler_->call;                                                 \
+        }                                                                    \
+    } while (0)
+#endif
+
 namespace udp {
 
 Cpu::Cpu(const Program& prog, const SimConfig& c) : cfg(c), program(prog)
@@ -69,6 +88,13 @@ Cpu::Cpu(const Program& prog, const SimConfig& c) : cfg(c), program(prog)
             uftq_->setTelemetry(t);
         }
     }
+
+#ifndef UDP_NO_SELF_PROFILER
+    if (cfg.profile.enabled) {
+        profiler_ = std::make_unique<obs::CycleProfiler>(
+            cfg.profile.intervalCycles);
+    }
+#endif
 }
 
 Telemetry::IntervalCounters
@@ -120,6 +146,11 @@ Cpu::cycle()
 {
     ++now_;
 
+    // Profiler phase switches bracket each section below; everything not
+    // claimed by a component phase (telemetry, faults, watchdog) stays in
+    // Other, so attribution covers the whole loop by construction.
+    UDP_PROF(beginCycle(now_));
+
     if (telemetry_) {
         telemetry_->beginCycle(now_, ftq_->size());
     }
@@ -134,8 +165,10 @@ Cpu::cycle()
         }
     }
 
+    UDP_PROF(phase(obs::ProfPhase::Icache));
     mem_->tick(now_);
 
+    UDP_PROF(phase(obs::ProfPhase::Backend));
     ResteerRequest req = backend_->tick(now_);
     if (req.valid) {
         applyResteer(req);
@@ -151,11 +184,15 @@ Cpu::cycle()
         --budget;
     }
 
+    UDP_PROF(phase(obs::ProfPhase::Fetch));
     fetch_->tick(now_);
+    UDP_PROF(phase(obs::ProfPhase::Prefetch));
     fdip_->tick(now_);
+    UDP_PROF(phase(obs::ProfPhase::Bpred));
     fe_->tick(now_);
     ftq_->sampleOccupancy();
 
+    UDP_PROF(phase(obs::ProfPhase::Prefetch));
     if (uftq_) {
         uftq_->tick(mem_->stats(), mem_->l1iStats());
     }
@@ -170,6 +207,7 @@ Cpu::cycle()
         }
     }
 
+    UDP_PROF(phase(obs::ProfPhase::Other));
     if (telemetry_ && telemetry_->intervalDue()) {
         telemetry_->closeInterval(telemetryCounters());
     }
@@ -208,6 +246,8 @@ Cpu::cycle()
         checkInvariants(*this, /*full=*/true);
     }
 #endif
+
+    UDP_PROF(endCycle());
 }
 
 void
@@ -287,6 +327,9 @@ Cpu::clearStats()
     if (telemetry_) {
         telemetry_->clearStats();
         telemetry_->setBaseline(telemetryCounters());
+    }
+    if (profiler_) {
+        profiler_->clearStats();
     }
 }
 

@@ -60,6 +60,8 @@ class Cpu
     const Eip* eip() const { return eip_.get(); }
     /** Telemetry collector (null unless SimConfig::telemetry.enabled). */
     Telemetry* telemetry() const { return telemetry_.get(); }
+    /** Cycle-loop self-profiler (null unless SimConfig::profile.enabled). */
+    obs::CycleProfiler* profiler() const { return profiler_.get(); }
 
     const SimConfig& config() const { return cfg; }
 
@@ -88,6 +90,7 @@ class Cpu
     std::unique_ptr<UftqController> uftq_;
     std::unique_ptr<Eip> eip_;
     std::unique_ptr<Telemetry> telemetry_;
+    std::unique_ptr<obs::CycleProfiler> profiler_;
 
     Cycle now_ = 0;
     Cycle statsStartCycle_ = 0;

@@ -103,6 +103,17 @@ LeaseTable::settleAfterLostAttempt(double nowSec, JobState& job,
         nowSec + backoffDelaySec(policy, job.attemptsUsed + 1, job.hash);
 }
 
+LeaseWorkerStats&
+LeaseTable::workerRow(const std::string& worker, double nowSec)
+{
+    LeaseWorkerStats& ws = workers_[worker];
+    if (ws.worker.empty()) {
+        ws.worker = worker;
+        ws.lastSeenSec = nowSec;
+    }
+    return ws;
+}
+
 void
 LeaseTable::tick(double nowSec)
 {
@@ -112,6 +123,9 @@ LeaseTable::tick(double nowSec)
         }
         JobState& job = jobs[l.index];
         dropLease(job, token);
+        // The worker went silent: charge the expiry but leave its
+        // lastSeenSec alone so the status row shows the silence.
+        ++workerRow(l.worker, nowSec).expirations;
         if (job.done || job.failed) {
             continue;
         }
@@ -147,6 +161,8 @@ ClaimOutcome
 LeaseTable::claim(double nowSec, const std::string& worker, JobLease* out)
 {
     tick(nowSec);
+    LeaseWorkerStats& ws = workerRow(worker, nowSec);
+    ws.lastSeenSec = nowSec;
     if (drained()) {
         return ClaimOutcome::Drained;
     }
@@ -159,6 +175,10 @@ LeaseTable::claim(double nowSec, const std::string& worker, JobLease* out)
             continue;
         }
         ++job.attemptsUsed;
+        ++ws.claims;
+        if (job.attemptsUsed >= 2) {
+            ++ws.retries;
+        }
         *out = grant(nowSec, worker, i, job.attemptsUsed);
         return ClaimOutcome::Granted;
     }
@@ -194,6 +214,8 @@ LeaseTable::claim(double nowSec, const std::string& worker, JobLease* out)
         }
         if (bestIdx != jobs.size()) {
             const Lease* oldest = findLease(jobs[bestIdx].leases.front());
+            ++ws.claims;
+            ++ws.stragglers;
             *out = grant(nowSec, worker, bestIdx,
                          oldest != nullptr ? oldest->attempt : 1);
             return ClaimOutcome::Granted;
@@ -210,6 +232,9 @@ LeaseTable::renew(double nowSec, std::uint64_t token)
         return false;
     }
     l->expiry = nowSec + policy.leaseTtlSec;
+    LeaseWorkerStats& ws = workerRow(l->worker, nowSec);
+    ++ws.renewals;
+    ws.lastSeenSec = nowSec;
     return true;
 }
 
@@ -221,12 +246,15 @@ LeaseTable::push(double nowSec, std::uint64_t token, bool ok,
     if (l == nullptr) {
         return Push::Unknown;
     }
+    LeaseWorkerStats& ws = workerRow(l->worker, nowSec);
+    ws.lastSeenSec = nowSec;
     JobState& job = jobs[l->index];
     if (job.done || job.failed) {
         dropLease(job, token);
         return Push::Duplicate;
     }
     if (ok) {
+        ++ws.completions;
         // First completion wins; every lease on the job is settled.
         job.done = true;
         ++doneJobs;
@@ -240,6 +268,7 @@ LeaseTable::push(double nowSec, std::uint64_t token, bool ok,
     }
     // A failed execution. The attempt was charged at claim time; here
     // the job is either requeued with backoff or finally failed.
+    ++ws.failures;
     dropLease(job, token);
     settleAfterLostAttempt(nowSec, job,
                            errorKind.empty() ? "exception" : errorKind);
@@ -265,6 +294,52 @@ std::size_t
 LeaseTable::activeLeases(std::size_t index) const
 {
     return index < jobs.size() ? jobs[index].leases.size() : 0;
+}
+
+char
+LeaseTable::jobState(std::size_t index) const
+{
+    if (index >= jobs.size()) {
+        return '?';
+    }
+    const JobState& job = jobs[index];
+    if (job.done) {
+        return 'D';
+    }
+    if (job.failed) {
+        return 'F';
+    }
+    return job.leases.empty() ? 'P' : 'L';
+}
+
+std::vector<LeaseWorkerStats>
+LeaseTable::workerStats() const
+{
+    std::vector<LeaseWorkerStats> out;
+    out.reserve(workers_.size());
+    for (const auto& [name, ws] : workers_) {
+        out.push_back(ws);
+    }
+    for (LeaseWorkerStats& ws : out) {
+        ws.activeLeases = 0;
+    }
+    for (const auto& [token, l] : leases) {
+        (void)token;
+        if (!l.active) {
+            continue;
+        }
+        for (LeaseWorkerStats& ws : out) {
+            if (ws.worker == l.worker) {
+                ++ws.activeLeases;
+                break;
+            }
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const LeaseWorkerStats& a, const LeaseWorkerStats& b) {
+                  return a.worker < b.worker;
+              });
+    return out;
 }
 
 std::size_t

@@ -79,6 +79,26 @@ struct LeasePolicy
     double noWorkRetrySec = 0.2;
 };
 
+/**
+ * Aggregated per-worker health counters, maintained as a side effect of
+ * claim/renew/push/tick and surfaced through the live status endpoint
+ * (src/obs/status.h). Counters are cumulative for the table's lifetime;
+ * activeLeases and lastSeenSec are computed at snapshot time.
+ */
+struct LeaseWorkerStats
+{
+    std::string worker;
+    std::uint64_t claims = 0;      ///< leases granted (incl. stragglers)
+    std::uint64_t retries = 0;     ///< grants that were attempt >= 2
+    std::uint64_t stragglers = 0;  ///< duplicate speculative grants
+    std::uint64_t renewals = 0;    ///< successful heartbeats
+    std::uint64_t completions = 0; ///< ok results accepted first
+    std::uint64_t failures = 0;    ///< failed results pushed
+    std::uint64_t expirations = 0; ///< leases lost to TTL expiry
+    std::uint64_t activeLeases = 0;
+    double lastSeenSec = 0.0; ///< injected time of last contact
+};
+
 /** Outcome of a claim attempt. */
 enum class ClaimOutcome
 {
@@ -158,6 +178,14 @@ class LeaseTable
     /** Currently active leases on a job (>1 only for stragglers). */
     std::size_t activeLeases(std::size_t index) const;
 
+    /** Lifecycle state of job @p index: 'P' pending, 'L' leased,
+     *  'D' done, 'F' finally failed ('?' for a bad index). Matches the
+     *  kJob* constants in obs/status.h. */
+    char jobState(std::size_t index) const;
+
+    /** Per-worker counters, sorted by worker name (obs status rows). */
+    std::vector<LeaseWorkerStats> workerStats() const;
+
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
     /** Index of the job @p token was issued for (active or settled), or
@@ -206,9 +234,12 @@ class LeaseTable
     JobLease grant(double nowSec, const std::string& worker,
                    std::size_t index, unsigned attempt);
 
+    LeaseWorkerStats& workerRow(const std::string& worker, double nowSec);
+
     LeasePolicy policy;
     std::vector<JobState> jobs;
     std::unordered_map<std::uint64_t, Lease> leases; ///< token -> lease
+    std::unordered_map<std::string, LeaseWorkerStats> workers_;
     std::uint64_t nextToken = 1;
     std::size_t doneJobs = 0;
     std::size_t failedJobs = 0;

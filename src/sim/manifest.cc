@@ -187,6 +187,9 @@ manifestEntryToJsonLine(const ManifestEntry& e)
                       "\",\"index\":" + std::to_string(e.index) +
                       ",\"workload\":\"" + jsonEscape(e.workload) +
                       "\",\"config\":\"" + jsonEscape(e.label) + "\"";
+    if (!e.worker.empty()) {
+        out += ",\"worker\":\"" + jsonEscape(e.worker) + "\"";
+    }
     if (e.ok) {
         // "report" is by construction the last key: the loader slices it
         // from the first '{' after it to the line's final '}'.
@@ -217,6 +220,7 @@ manifestEntryFromJsonLine(const std::string& line, ManifestEntry* out)
         return false;
     }
     e.index = index;
+    extractString(line, "worker", &e.worker); // optional field
     if (status == "ok") {
         const std::string needle = "\"report\":";
         std::size_t pos = line.find(needle);

@@ -41,6 +41,14 @@ struct ManifestEntry
     std::string errorKind;
     /** reportToJsonLine() of a completed entry ("" when failed). */
     std::string reportJson;
+    /**
+     * Name of the worker that produced this result ("" when unknown —
+     * local sweeps, resumed entries, reclaim-published failures). Set by
+     * runSweepWorker so the status surface can attribute completions
+     * per worker; serialized only when non-empty, so local manifests are
+     * byte-identical to pre-field files.
+     */
+    std::string worker;
 };
 
 /**

@@ -124,6 +124,9 @@ collectReport(const Cpu& cpu, std::string workload, std::string config_name)
         t->finalize();
         r.telemetry = t->snapshot();
     }
+    if (obs::CycleProfiler* p = cpu.profiler()) {
+        r.profile = p->snapshot();
+    }
     return r;
 }
 
@@ -145,9 +148,13 @@ runSim(const Profile& profile, const SimConfig& cfg, const RunOptions& opts,
         if (t && !cfg.telemetry.errorTracePath.empty()) {
             t->noteError(e.kindName(), e.component(), e.cycle(), e.dump());
             t->finalize();
-            writeChromeTrace(
-                cfg.telemetry.errorTracePath,
-                {TraceJob{profile.name + "/" + config_name, t->snapshot()}});
+            TraceJob tj;
+            tj.name = profile.name + "/" + config_name;
+            tj.snap = t->snapshot();
+            if (obs::CycleProfiler* p = cpu.profiler()) {
+                tj.prof = p->snapshot();
+            }
+            writeChromeTrace(cfg.telemetry.errorTracePath, {tj});
         }
         throw;
     }

@@ -116,6 +116,15 @@ struct Report
      * stats/tracefile.h).
      */
     std::shared_ptr<const TelemetrySnapshot> telemetry;
+
+    /**
+     * Cycle-loop self-profile (null unless SimConfig::profile.enabled).
+     * Like telemetry above, NOT part of toStatSet()/the report sink
+     * schema — report rows stay byte-identical whether profiling ran or
+     * not; summaries flow through profileSummaryToJsonLine (stats/sink.h)
+     * and the Chrome-trace exporter (stats/tracefile.h).
+     */
+    std::shared_ptr<const obs::ProfileSnapshot> profile;
 };
 
 /** Run options. */

@@ -16,6 +16,7 @@
 #include "frontend/decoupled_fe.h"
 #include "frontend/fdip.h"
 #include "frontend/fetch.h"
+#include "obs/profiler.h"
 #include "prefetch/eip.h"
 #include "sim/faultinject.h"
 #include "stats/telemetry.h"
@@ -73,6 +74,12 @@ struct SimConfig
      *  (docs/TELEMETRY.md). Disabled by default; when disabled the run is
      *  byte-identical to a build without the telemetry layer. */
     TelemetryConfig telemetry;
+
+    /** Cycle-loop self-profiler: wall-time attribution per component
+     *  (docs/OBSERVABILITY.md). Off by default — the only cost is one
+     *  null-pointer check per phase site. Outside sweepJobHash(): it
+     *  never perturbs job identity or modeled results. */
+    ProfileConfig profile;
 };
 
 /** Named preset configurations used across benches and examples. */

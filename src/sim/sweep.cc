@@ -12,6 +12,8 @@
 #include <thread>
 #include <unordered_set>
 
+#include "obs/eventlog.h"
+#include "obs/metrics.h"
 #include "sim/manifest.h"
 #include "sim/pool.h"
 #include "sim/procexec.h"
@@ -55,16 +57,19 @@ writeFailureDump(const std::string& dir, const std::string& label,
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     if (ec) {
-        std::fprintf(stderr, "[sweep] cannot create dump dir \"%s\": %s\n",
-                     dir.c_str(), ec.message().c_str());
+        obs::Event(obs::LogLevel::Warn, "sweep", "dump_dir_error")
+            .str("dir", dir)
+            .str("error", ec.message())
+            .emit();
         return "";
     }
     std::string path = dir + "/" + sanitizeLabel(label) + "-" +
                        std::to_string(index) + ".dump.txt";
     std::ofstream out(path, std::ios::out | std::ios::trunc);
     if (!out.is_open()) {
-        std::fprintf(stderr, "[sweep] cannot open dump file \"%s\"\n",
-                     path.c_str());
+        obs::Event(obs::LogLevel::Warn, "sweep", "dump_open_error")
+            .str("path", path)
+            .emit();
         return "";
     }
     out << err.message << '\n';
@@ -242,8 +247,9 @@ SweepRunner::runChecked(const std::vector<SweepJob>& jobs) const
 
     const bool isolate = opts.isolate && procIsolationSupported();
     if (opts.isolate && !isolate && !opts.quiet) {
-        std::fprintf(stderr, "[sweep] process isolation unsupported here; "
-                             "running in-process\n");
+        obs::Event(obs::LogLevel::Warn, "sweep", "isolation_unsupported")
+            .str("fallback", "in_process")
+            .emit();
     }
 
     // Checkpoint manifest: hash every job up front; on resume, satisfy
@@ -279,11 +285,11 @@ SweepRunner::runChecked(const std::vector<SweepJob>& jobs) const
                 ++resumedCount;
             }
             if (!opts.quiet && resumedCount != 0) {
-                std::fprintf(stderr,
-                             "[sweep] resumed %zu/%zu completed job(s) "
-                             "from \"%s\"\n",
-                             resumedCount, jobs.size(),
-                             opts.manifestPath.c_str());
+                obs::Event(obs::LogLevel::Info, "sweep", "resumed")
+                    .u64("resumed", resumedCount)
+                    .u64("total", jobs.size())
+                    .str("manifest", opts.manifestPath)
+                    .emit();
             }
         }
     }
@@ -317,13 +323,16 @@ SweepRunner::runChecked(const std::vector<SweepJob>& jobs) const
     const unsigned max_attempts = opts.maxAttempts == 0 ? 1 : opts.maxAttempts;
 
     auto postProgress = [&](std::size_t jobIndex, const JobResult& jr) {
-        // Caller holds mtx.
+        // Caller holds mtx; the event log is additionally a single
+        // writer emitting whole lines, so pool workers never interleave.
         if (!jr.ok && !jr.skipped && !opts.quiet) {
-            std::fprintf(stderr,
-                         "[sweep] job %zu \"%s\" failed after %u "
-                         "attempt(s): %s\n",
-                         jobIndex, jobs[jobIndex].label.c_str(), jr.attempts,
-                         jr.error.message.c_str());
+            obs::Event(obs::LogLevel::Warn, "sweep", "job_failed")
+                .u64("job", jobIndex)
+                .str("label", jobs[jobIndex].label)
+                .u64("attempts", jr.attempts)
+                .str("kind", jr.error.kind)
+                .str("message", jr.error.message)
+                .emit();
         }
         SweepProgress p;
         p.done = done;
@@ -339,10 +348,17 @@ SweepRunner::runChecked(const std::vector<SweepJob>& jobs) const
         if (opts.onProgress) {
             opts.onProgress(p);
         } else if (!opts.quiet) {
-            std::fprintf(stderr,
-                         "[sweep] %zu/%zu jobs done (%zu failed), %.1fs "
-                         "elapsed, eta %.1fs\n",
-                         p.done, p.total, p.failed, p.elapsedSec, p.etaSec);
+            obs::Event ev(obs::LogLevel::Info, "sweep", "progress");
+            ev.u64("done", p.done)
+                .u64("total", p.total)
+                .u64("failed", p.failed)
+                .f64("elapsed_sec", p.elapsedSec)
+                .f64("eta_sec", p.etaSec)
+                .every(0.25);
+            if (p.done == p.total) {
+                ev.force(); // the 100% line always lands
+            }
+            ev.emit();
         }
     };
 
@@ -364,10 +380,10 @@ SweepRunner::runChecked(const std::vector<SweepJob>& jobs) const
             jr.error.message = "graceful shutdown requested before start";
             std::lock_guard<std::mutex> lock(mtx);
             if (!stopAnnounced && !opts.quiet) {
-                std::fprintf(stderr,
-                             "[sweep] stop signal %d received: draining "
-                             "in-flight jobs, skipping the rest\n",
-                             sweepStopSignal());
+                obs::Event(obs::LogLevel::Warn, "sweep", "stop_signal")
+                    .i64("signal", sweepStopSignal())
+                    .str("action", "draining in-flight, skipping queued")
+                    .emit();
             }
             stopAnnounced = true;
             ++done;
@@ -390,8 +406,10 @@ SweepRunner::runChecked(const std::vector<SweepJob>& jobs) const
         // total and the ETA is computed from every finished job.
         std::lock_guard<std::mutex> lock(mtx);
         ++done;
+        obs::counter("sweep.jobs_done").add(1);
         if (!jr.ok) {
             ++failed;
+            obs::counter("sweep.jobs_failed").add(1);
         }
         if (manifest.isOpen()) {
             ManifestEntry e;

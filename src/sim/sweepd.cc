@@ -11,6 +11,9 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/eventlog.h"
+#include "obs/metrics.h"
+#include "obs/status.h"
 #include "sim/manifest.h"
 #include "sim/simconfig.h"
 #include "stats/sink.h"
@@ -26,6 +29,15 @@ nowSec()
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
+}
+
+std::uint64_t
+wallMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
 }
 
 void
@@ -413,6 +425,7 @@ runSweepWorker(WorkQueue& queue, const std::vector<SweepJob>& jobs,
         ManifestEntry entry;
         entry.hash = lease.hash;
         entry.index = lease.index;
+        entry.worker = opts.name;
 
         // The lease is only (hash, index): verify our own deterministic
         // expansion agrees before running anything. A divergent worker
@@ -427,11 +440,11 @@ runSweepWorker(WorkQueue& queue, const std::vector<SweepJob>& jobs,
                 entry.label = jobs[lease.index].label;
             }
             ++sum.mismatches;
+            obs::counter("sweep_worker.spec_mismatches").add(1);
             if (!opts.quiet) {
-                std::fprintf(stderr,
-                             "[%s] lease for job %zu does not match local "
-                             "expansion; failing as spec_mismatch\n",
-                             opts.name.c_str(), lease.index);
+                obs::Event(obs::LogLevel::Warn, opts.name, "spec_mismatch")
+                    .u64("job", lease.index)
+                    .emit();
             }
             if (queue.push(lease, entry) == PushOutcome::Lost) {
                 sum.queueLost = true;
@@ -460,6 +473,7 @@ runSweepWorker(WorkQueue& queue, const std::vector<SweepJob>& jobs,
             sleepSec(static_cast<double>(opts.jobDelayMs) / 1000.0);
         }
         ++sum.executed;
+        obs::counter("sweep_worker.jobs_executed").add(1);
         JobResult jr = runJobChecked(jobs[lease.index], lease.index,
                                      opts.exec);
         stopHb.store(true);
@@ -488,12 +502,12 @@ runSweepWorker(WorkQueue& queue, const std::vector<SweepJob>& jobs,
             if (entry.ok) {
                 flushLocal(entry);
             }
+            obs::counter("sweep_worker.queue_lost").add(1);
             if (!opts.quiet) {
-                std::fprintf(stderr,
-                             "[%s] queue lost pushing job %zu; result %s\n",
-                             opts.name.c_str(), lease.index,
-                             entry.ok ? "flushed to local shard"
-                                      : "dropped (failed anyway)");
+                obs::Event(obs::LogLevel::Warn, opts.name, "queue_lost")
+                    .u64("job", lease.index)
+                    .str("result", entry.ok ? "flushed_local" : "dropped")
+                    .emit();
             }
             break;
         }
@@ -532,7 +546,180 @@ struct SweepCoordinator::Impl
     // Filesystem mode.
     std::unique_ptr<FsWorkQueue> fsq;
 
+    // --- live status surface (obs/status.h) --------------------------
+    // The TCP LeaseTable tracks per-worker counters natively; in FS mode
+    // the coordinator reconstructs them by diffing lease-directory
+    // snapshots each tick. Rows store ABSOLUTE last-contact times
+    // (monotonic seconds); buildStatus() converts to ages on export.
+    std::unordered_map<std::string, obs::WorkerStatusRow> fsWorkers;
+    struct FsSeenLease
+    {
+        std::string worker;
+        std::uint64_t hash = 0;
+        std::uint64_t expiryMs = 0;
+    };
+    std::unordered_map<std::uint64_t, FsSeenLease> fsSeen; ///< by token
+    std::vector<FsLeaseInfo> fsLeaseSnapshot;
+    double lastStatusSec = 0.0;
+
     bool isTcp() const { return ep.tcp; }
+
+    obs::WorkerStatusRow& fsWorkerRow(const std::string& name)
+    {
+        obs::WorkerStatusRow& row = fsWorkers[name];
+        if (row.name.empty()) {
+            row.name = name;
+            row.lastSeenSec = nowSec();
+        }
+        return row;
+    }
+
+    /**
+     * Folds one lease-directory snapshot into the per-worker rows: a new
+     * token is a claim (attempt >= 2 marks a retry; a second live lease
+     * on the same hash marks a straggler grant), a larger expiry on a
+     * known token is a heartbeat renewal, and a vanished token whose
+     * lease was already past expiry counts as an expiration (a push
+     * removes its lease file too, so in-date disappearances are normal
+     * completions and are not charged).
+     */
+    void updateFsWorkers(std::vector<FsLeaseInfo> leases)
+    {
+        double now = nowSec();
+        std::uint64_t nowMs = wallMs();
+        std::unordered_map<std::uint64_t, std::size_t> liveByHash;
+        for (const FsLeaseInfo& l : leases) {
+            ++liveByHash[l.hash];
+        }
+        std::unordered_map<std::uint64_t, FsSeenLease> seen;
+        for (const FsLeaseInfo& l : leases) {
+            obs::WorkerStatusRow& row = fsWorkerRow(l.worker);
+            auto it = fsSeen.find(l.token);
+            if (it == fsSeen.end()) {
+                ++row.claims;
+                if (l.attempt >= 2) {
+                    ++row.retries;
+                }
+                if (liveByHash[l.hash] > 1) {
+                    ++row.stragglers;
+                }
+                row.lastSeenSec = now;
+            } else if (l.expiryMs > it->second.expiryMs) {
+                ++row.renewals;
+                row.lastSeenSec = now;
+            }
+            seen[l.token] = FsSeenLease{l.worker, l.hash, l.expiryMs};
+        }
+        for (const auto& [token, old] : fsSeen) {
+            if (seen.find(token) != seen.end()) {
+                continue;
+            }
+            if (old.expiryMs <= nowMs) {
+                // lastSeenSec left alone: the silence should show.
+                ++fsWorkerRow(old.worker).expirations;
+            }
+        }
+        fsSeen = std::move(seen);
+        fsLeaseSnapshot = std::move(leases);
+    }
+
+    /** One status document (obs/status.h JSON) from live state. */
+    std::string buildStatus()
+    {
+        double now = nowSec();
+        obs::SweepStatus st;
+        st.name = opts.name;
+        st.transport = isTcp() ? "tcp" : "fs";
+        st.tsMs = wallMs();
+        st.total = jobs.size();
+        st.done = finalCount - failedCount;
+        st.failed = failedCount;
+        st.resumed = resumedCount;
+        st.elapsedSec = started ? now - startTime : 0.0;
+        st.jobStates.assign(jobs.size(), obs::kJobPending);
+        if (isTcp() && table) {
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+                st.jobStates[i] = table->jobState(i);
+            }
+            for (const LeaseWorkerStats& ws : table->workerStats()) {
+                obs::WorkerStatusRow row;
+                row.name = ws.worker;
+                row.activeLeases = ws.activeLeases;
+                row.claims = ws.claims;
+                row.completed = ws.completions;
+                row.failed = ws.failures;
+                row.retries = ws.retries;
+                row.stragglers = ws.stragglers;
+                row.renewals = ws.renewals;
+                row.expirations = ws.expirations;
+                row.lastSeenSec =
+                    ws.lastSeenSec >= 0.0 ? now - ws.lastSeenSec : -1.0;
+                st.workers.push_back(std::move(row));
+            }
+        } else {
+            std::unordered_map<std::uint64_t, char> leasedHash;
+            for (const FsLeaseInfo& l : fsLeaseSnapshot) {
+                leasedHash[l.hash] = 1;
+            }
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+                if (haveFinal[i]) {
+                    st.jobStates[i] =
+                        finals[i].ok ? obs::kJobDone : obs::kJobFailed;
+                } else if (leasedHash.find(hashes[i]) != leasedHash.end()) {
+                    st.jobStates[i] = obs::kJobLeased;
+                }
+            }
+            for (auto& [name, row] : fsWorkers) {
+                (void)name;
+                row.activeLeases = 0;
+            }
+            for (const FsLeaseInfo& l : fsLeaseSnapshot) {
+                ++fsWorkerRow(l.worker).activeLeases;
+            }
+            for (const auto& [name, src] : fsWorkers) {
+                (void)name;
+                obs::WorkerStatusRow row = src;
+                row.lastSeenSec =
+                    src.lastSeenSec >= 0.0 ? now - src.lastSeenSec : -1.0;
+                st.workers.push_back(std::move(row));
+            }
+            std::sort(st.workers.begin(), st.workers.end(),
+                      [](const obs::WorkerStatusRow& a,
+                         const obs::WorkerStatusRow& b) {
+                          return a.name < b.name;
+                      });
+        }
+        for (char c : st.jobStates) {
+            if (c == obs::kJobPending) {
+                ++st.pending;
+            } else if (c == obs::kJobLeased) {
+                ++st.leased;
+            }
+        }
+        std::size_t fresh =
+            finalCount > resumedCount ? finalCount - resumedCount : 0;
+        st.etaSec = fresh == 0
+                        ? -1.0
+                        : st.elapsedSec / static_cast<double>(fresh) *
+                              static_cast<double>(jobs.size() - finalCount);
+        st.metricsJson = obs::Registry::global().snapshotJson();
+        return sweepStatusToJson(st);
+    }
+
+    /** FS transport: refresh "<dir>/status.json" (rate-limited unless
+     *  @p force — the post-drain publication must always land). */
+    void publishFsStatus(bool force)
+    {
+        if (!fsq) {
+            return;
+        }
+        double now = nowSec();
+        if (!force && now - lastStatusSec < std::max(opts.pollSec, 0.25)) {
+            return;
+        }
+        lastStatusSec = now;
+        fsq->writeStatusFile(buildStatus());
+    }
 
     /** Records a job's final outcome exactly once. */
     void recordFinal(std::size_t idx, ManifestEntry e, bool toManifest)
@@ -542,8 +729,10 @@ struct SweepCoordinator::Impl
         }
         haveFinal[idx] = 1;
         ++finalCount;
+        obs::counter("sweepd.jobs_final").add(1);
         if (!e.ok) {
             ++failedCount;
+            obs::counter("sweepd.jobs_failed").add(1);
         }
         if (toManifest && manifest.isOpen()) {
             manifest.record(e);
@@ -566,10 +755,17 @@ struct SweepCoordinator::Impl
         if (opts.onProgress) {
             opts.onProgress(p);
         } else if (!opts.quiet) {
-            std::fprintf(stderr,
-                         "[sweepd] %zu/%zu jobs done (%zu failed), "
-                         "%.1fs elapsed\n",
-                         p.done, p.total, p.failed, p.elapsedSec);
+            obs::Event ev(obs::LogLevel::Info, "sweepd", "progress");
+            ev.u64("done", p.done)
+                .u64("total", p.total)
+                .u64("failed", p.failed)
+                .f64("elapsed_sec", p.elapsedSec)
+                .f64("eta_sec", p.etaSec)
+                .every(0.25);
+            if (p.done == p.total) {
+                ev.force(); // the 100% line always lands
+            }
+            ev.emit();
         }
     }
 
@@ -636,6 +832,7 @@ struct SweepCoordinator::Impl
     void tickFs()
     {
         fsq->reclaimExpired();
+        updateFsWorkers(fsq->scanLeases());
         for (ManifestEntry& e : fsq->collectDone()) {
             auto hit = hashToIndex.find(e.hash);
             if (hit == hashToIndex.end() || haveFinal[hit->second]) {
@@ -644,8 +841,16 @@ struct SweepCoordinator::Impl
             if (e.ok && !manifestEntryIsConsistent(e)) {
                 continue; // torn/spliced done entry: leave it to reclaim
             }
+            // Attribute the final to its producer before the entry is
+            // consumed (reclaim-published failures carry no worker).
+            if (!e.worker.empty()) {
+                obs::WorkerStatusRow& row = fsWorkerRow(e.worker);
+                e.ok ? ++row.completed : ++row.failed;
+                row.lastSeenSec = nowSec();
+            }
             recordFinal(hit->second, std::move(e), true);
         }
+        publishFsStatus(false);
         sleepSec(opts.pollSec);
     }
 };
@@ -695,10 +900,11 @@ SweepCoordinator::start(std::string* err)
                 }
             }
             if (!im.opts.quiet && im.resumedCount != 0) {
-                std::fprintf(stderr,
-                             "[sweepd] resumed %zu/%zu job(s) from \"%s\"\n",
-                             im.resumedCount, im.jobs.size(),
-                             im.opts.manifestPath.c_str());
+                obs::Event(obs::LogLevel::Info, "sweepd", "resumed")
+                    .u64("resumed", im.resumedCount)
+                    .u64("total", im.jobs.size())
+                    .str("manifest", im.opts.manifestPath)
+                    .emit();
             }
         }
     }
@@ -715,6 +921,7 @@ SweepCoordinator::start(std::string* err)
         h.spec = [&im] { return im.opts.specJson; };
         h.total = [&im] { return im.jobs.size(); };
         h.retrySec = [&im] { return im.opts.policy.noWorkRetrySec; };
+        h.status = [&im] { return im.buildStatus(); };
         h.claim = [&im](const std::string& worker, JobLease* out) {
             return im.table->claim(nowSec(), worker, out);
         };
@@ -764,6 +971,7 @@ SweepCoordinator::start(std::string* err)
     }
     im.startTime = nowSec();
     im.started = true;
+    im.publishFsStatus(true); // FS only: status visible before first tick
     return true;
 }
 
@@ -833,6 +1041,9 @@ SweepCoordinator::run()
     }
     im.absorbShards();
     im.manifest.close();
+    // Final FS status so post-completion queries reconcile with the
+    // merged manifest (TCP answers live until server.close() above).
+    im.publishFsStatus(true);
 
     for (std::size_t i = 0; i < im.jobs.size(); ++i) {
         JobResult& jr = results[i];

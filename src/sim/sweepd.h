@@ -152,6 +152,8 @@ WorkerSummary runSweepWorker(WorkQueue& queue,
 /** Coordinator configuration. */
 struct CoordinatorOptions
 {
+    /** Sweep name reported on the status surface (obs/status.h). */
+    std::string name = "sweep";
     /** Lease/retry/straggler policy shared with the queue. */
     LeasePolicy policy;
     /**

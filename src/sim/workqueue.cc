@@ -197,6 +197,31 @@ FsWorkQueue::collectDone()
 {
     return {};
 }
+std::vector<FsLeaseInfo>
+FsWorkQueue::scanLeases()
+{
+    return {};
+}
+std::size_t
+FsWorkQueue::todoCount()
+{
+    return 0;
+}
+std::uint64_t
+FsWorkQueue::stragglerTicketsIssued() const
+{
+    return 0;
+}
+std::uint64_t
+FsWorkQueue::leasesReclaimed() const
+{
+    return 0;
+}
+bool
+FsWorkQueue::writeStatusFile(const std::string&)
+{
+    return false;
+}
 bool
 FsWorkQueue::connect(std::string* err)
 {
@@ -299,6 +324,15 @@ TcpQueueServer::poll(double)
 void
 TcpQueueServer::close()
 {
+}
+
+bool
+queryQueueStatus(const std::string&, double, std::string*, std::string* err)
+{
+    if (err != nullptr) {
+        *err = "distributed sweeps are not supported on this platform";
+    }
+    return false;
 }
 
 #else // POSIX
@@ -574,6 +608,11 @@ struct FsWorkQueue::Impl
     bool metaLoaded = false;
     bool coordinator = false; ///< seeded here: straggler duty is ours
 
+    // Health counters for the status surface (this process's share of
+    // the decentralized queue work).
+    std::atomic<std::uint64_t> stragglerDups{0};
+    std::atomic<std::uint64_t> reclaims{0};
+
     std::string donePath(std::uint64_t hash) const
     {
         return doneDir + "/" + hex16(hash) + ".json";
@@ -681,6 +720,7 @@ struct FsWorkQueue::Impl
                 continue;
             }
             ::unlink(tmp.c_str());
+            reclaims.fetch_add(1, std::memory_order_relaxed);
             if (t.attempt >= policy.maxAttempts) {
                 publishFinalFailure(t, "worker_lost");
             } else {
@@ -767,7 +807,9 @@ struct FsWorkQueue::Impl
             std::string ticketPath = todoDir + "/" + hex16(dup.hash) +
                                      "." + hex16(processUniqueToken()) +
                                      ".json";
-            writeFileAtomic(tmp, ticketPath, ticketJson(dup));
+            if (writeFileAtomic(tmp, ticketPath, ticketJson(dup))) {
+                stragglerDups.fetch_add(1, std::memory_order_relaxed);
+            }
             fsyncDir(todoDir);
         }
     }
@@ -901,6 +943,57 @@ FsWorkQueue::collectDone()
         }
     }
     return out;
+}
+
+std::vector<FsLeaseInfo>
+FsWorkQueue::scanLeases()
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    std::vector<FsLeaseInfo> out;
+    for (const std::string& name : listDir(impl->leasedDir)) {
+        std::string json;
+        TicketInfo t;
+        if (!readWholeFile(impl->leasedDir + "/" + name, &json) ||
+            !parseTicket(json, &t) || t.token == 0) {
+            continue;
+        }
+        FsLeaseInfo li;
+        li.hash = t.hash;
+        li.index = t.index;
+        li.attempt = t.attempt;
+        li.worker = t.worker;
+        li.token = t.token;
+        li.expiryMs = t.expiryMs;
+        out.push_back(std::move(li));
+    }
+    return out;
+}
+
+std::size_t
+FsWorkQueue::todoCount()
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    return listDir(impl->todoDir).size();
+}
+
+std::uint64_t
+FsWorkQueue::stragglerTicketsIssued() const
+{
+    return impl->stragglerDups.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+FsWorkQueue::leasesReclaimed() const
+{
+    return impl->reclaims.load(std::memory_order_relaxed);
+}
+
+bool
+FsWorkQueue::writeStatusFile(const std::string& statusJson)
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    return writeFileAtomic(impl->tmpPath("status"),
+                           impl->root + "/status.json", statusJson + "\n");
 }
 
 bool
@@ -1079,6 +1172,7 @@ enum QueueOp : std::uint8_t
     OpClaim = 2,
     OpRenew = 3,
     OpPush = 4,
+    OpStatus = 5, ///< live sweep status JSON (obs/status.h schema)
 };
 
 enum QueueStatus : std::uint8_t
@@ -1601,6 +1695,12 @@ struct TcpQueueServer::Impl
             }
             return resp;
         }
+        case OpStatus: {
+            resp.push_back(static_cast<char>(StGranted));
+            appendStr(&resp,
+                      handlers.status ? handlers.status() : "{}");
+            return resp;
+        }
         default:
             resp.push_back(static_cast<char>(StUnknown));
             return resp;
@@ -1781,6 +1881,60 @@ void
 TcpQueueServer::close()
 {
     impl->closeAll();
+}
+
+bool
+queryQueueStatus(const std::string& endpoint, double timeoutSec,
+                 std::string* statusJson, std::string* err)
+{
+    QueueEndpoint ep = parseQueueEndpoint(endpoint);
+    if (!ep.tcp) {
+        std::string raw;
+        if (!readWholeFile(ep.dir + "/status.json", &raw)) {
+            if (err != nullptr) {
+                *err = "no status published yet at " + ep.dir +
+                       "/status.json";
+            }
+            return false;
+        }
+        while (!raw.empty() &&
+               (raw.back() == '\n' || raw.back() == '\r')) {
+            raw.pop_back();
+        }
+        *statusJson = std::move(raw);
+        return true;
+    }
+    wire::installSigpipeIgnore();
+    int fd = connectWithTimeout(ep.host, ep.port, timeoutSec, err);
+    if (fd < 0) {
+        return false;
+    }
+    std::string req;
+    appendU32(&req, kQueueMagic);
+    req.push_back(static_cast<char>(OpStatus));
+    double deadline = nowMonotonicSec() + timeoutSec;
+    std::string resp;
+    bool ok = sendFrame(fd, req, deadline) &&
+              recvFrame(fd, &resp, deadline);
+    ::close(fd);
+    if (!ok) {
+        if (err != nullptr) {
+            *err = "STATUS RPC failed (coordinator unreachable?)";
+        }
+        return false;
+    }
+    std::size_t pos = 0;
+    std::uint32_t magic = 0;
+    if (!readU32(resp, &pos, &magic) || magic != kQueueMagic ||
+        pos >= resp.size() ||
+        static_cast<std::uint8_t>(resp[pos++]) != StGranted ||
+        !readStr(resp, &pos, statusJson)) {
+        if (err != nullptr) {
+            *err = "malformed STATUS response";
+        }
+        return false;
+    }
+    return true;
 }
 
 #endif // POSIX

@@ -106,6 +106,16 @@ std::unique_ptr<WorkQueue> openWorkQueue(const std::string& endpoint,
                                          double rpcTimeoutSec,
                                          std::string* err);
 
+/**
+ * Fetches the live sweep status JSON (obs/status.h schema) from
+ * @p endpoint: one OpStatus RPC for "tcp:..." endpoints, a read of
+ * "<dir>/status.json" for queue directories. Used by tools/udp_top.
+ * Returns false with @p err set when the coordinator is unreachable or
+ * no status has been published yet.
+ */
+bool queryQueueStatus(const std::string& endpoint, double timeoutSec,
+                      std::string* statusJson, std::string* err);
+
 // --- filesystem backend ----------------------------------------------------
 
 /**
@@ -123,6 +133,17 @@ std::unique_ptr<WorkQueue> openWorkQueue(const std::string& endpoint,
  * into done/ decides completions (EEXIST = duplicate), and rename into
  * tmp/ decides who reclaims an expired lease.
  */
+/** One active lease as read off the queue directory (status snapshot). */
+struct FsLeaseInfo
+{
+    std::uint64_t hash = 0;
+    std::uint64_t index = 0;
+    unsigned attempt = 1;
+    std::string worker;
+    std::uint64_t token = 0;
+    std::uint64_t expiryMs = 0; ///< wall-clock expiry
+};
+
 class FsWorkQueue : public WorkQueue
 {
   public:
@@ -160,6 +181,26 @@ class FsWorkQueue : public WorkQueue
 
     /** Loads every done/ entry, keyed by job hash. */
     std::vector<ManifestEntry> collectDone();
+
+    /** Snapshot of every active lease file (live status surface). */
+    std::vector<FsLeaseInfo> scanLeases();
+
+    /** Claimable tickets currently in todo/ (live status surface). */
+    std::size_t todoCount();
+
+    /** Straggler duplicate tickets this process has issued. */
+    std::uint64_t stragglerTicketsIssued() const;
+
+    /** Expired leases this process has reclaimed. */
+    std::uint64_t leasesReclaimed() const;
+
+    /**
+     * Publishes @p statusJson atomically as "<dir>/status.json" — the FS
+     * transport's live status surface, refreshed by the coordinator each
+     * poll tick and once more after drain so post-completion queries
+     * reconcile with the final manifest.
+     */
+    bool writeStatusFile(const std::string& statusJson);
 
     // WorkQueue interface.
     bool connect(std::string* err) override;
@@ -220,6 +261,9 @@ class TcpQueueServer
                                        const ManifestEntry&)>
             push;
         std::function<double()> retrySec;
+        /** OpStatus: live sweep status JSON (obs/status.h). Absent
+         *  handler answers an empty object. */
+        std::function<std::string()> status;
     };
 
     TcpQueueServer();

@@ -572,6 +572,28 @@ telemetrySummaryToJsonLine(const std::string& workload,
     return out;
 }
 
+std::string
+profileSummaryToJsonLine(const std::string& workload,
+                         const std::string& config,
+                         const obs::ProfileSnapshot& prof)
+{
+    std::string out = "{\"row_type\":\"profile_summary\",\"workload\":\"" +
+                      jsonEscape(workload) + "\",\"config\":\"" +
+                      jsonEscape(config) +
+                      "\",\"cycles\":" + std::to_string(prof.cycles) +
+                      ",\"total_sec\":" + formatNumber(prof.totalSec);
+    for (std::size_t i = 0; i < obs::kNumProfPhases; ++i) {
+        obs::ProfPhase p = static_cast<obs::ProfPhase>(i);
+        std::string name = obs::profPhaseName(p);
+        out += ",\"phase_" + name +
+               "_sec\":" + formatNumber(prof.phaseSec[i]);
+        out += ",\"phase_" + name +
+               "_pct\":" + formatNumber(prof.phaseFrac(p) * 100.0);
+    }
+    out += "}";
+    return out;
+}
+
 bool
 TelemetrySink::openJson(const std::string& path)
 {

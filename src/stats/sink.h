@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "stats/telemetry.h"
 
 namespace udp {
@@ -122,6 +123,16 @@ std::string intervalToCsvRow(const std::string& workload,
 std::string telemetrySummaryToJsonLine(const std::string& workload,
                                        const std::string& config,
                                        const TelemetrySnapshot& snap);
+
+/**
+ * One JSON object (single line) for a run's cycle-loop self-profile
+ * ("row_type":"profile_summary" + cycles/total_sec and per-phase
+ * phase_<name>_sec / phase_<name>_pct keys, docs/OBSERVABILITY.md).
+ * Consumed by tools/trace_summary.py and BENCH_simspeed rows.
+ */
+std::string profileSummaryToJsonLine(const std::string& workload,
+                                     const std::string& config,
+                                     const obs::ProfileSnapshot& prof);
 
 /**
  * Writes telemetry interval rows (JSONL and/or CSV) and per-run summary

@@ -115,11 +115,37 @@ chromeTraceJson(const std::vector<TraceJob>& jobs)
     int pid = 0;
     for (const TraceJob& job : jobs) {
         ++pid;
-        if (!job.snap) {
+        if (!job.snap && !job.prof) {
             continue;
         }
         appendMetadata(out, pid, job.name);
         any = true;
+        if (job.prof) {
+            // Self-profiler track: stacked per-phase host time per
+            // reporting interval (one ph "C" sample per interval).
+            const unsigned tid = kTrackCounters + 1;
+            out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+                   std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+                   ",\"args\":{\"name\":\"self_profile\"}},\n";
+            for (const obs::ProfileIntervalRow& row : job.prof->intervals) {
+                appendCommon(out, "host_us_per_phase", "C", pid, tid,
+                             row.cycleStart);
+                out += ",\"args\":{";
+                for (std::size_t i = 0; i < obs::kNumProfPhases; ++i) {
+                    if (i != 0) {
+                        out += ',';
+                    }
+                    out += "\"";
+                    out += obs::profPhaseName(
+                        static_cast<obs::ProfPhase>(i));
+                    out += "\":" + formatNumber(row.phaseSec[i] * 1e6);
+                }
+                out += "}},\n";
+            }
+        }
+        if (!job.snap) {
+            continue;
+        }
         for (const TraceEvent& ev : job.snap->events) {
             appendEvent(out, ev, pid);
         }

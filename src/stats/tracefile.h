@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "stats/telemetry.h"
 
 namespace udp {
@@ -34,6 +35,10 @@ struct TraceJob
 {
     std::string name;
     std::shared_ptr<const TelemetrySnapshot> snap;
+    /** Optional cycle-loop self-profile (Report::profile): rendered as a
+     *  "self_profile" counter track — per-interval host microseconds per
+     *  phase, stacked (docs/OBSERVABILITY.md). */
+    std::shared_ptr<const obs::ProfileSnapshot> prof;
 };
 
 /** Renders the jobs as a Trace Event Format JSON string. */

@@ -336,7 +336,8 @@ TEST(TraceFile, RendersLifecycleAndMetadata)
     t.onPrefetchFirstUse(0xabc0);
     t.finalize();
 
-    std::string json = chromeTraceJson({{"mysql/udp8k", t.snapshot()}});
+    std::string json =
+        chromeTraceJson({{"mysql/udp8k", t.snapshot(), nullptr}});
     EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
     EXPECT_NE(json.find("process_name"), std::string::npos);
     EXPECT_NE(json.find("mysql/udp8k"), std::string::npos);

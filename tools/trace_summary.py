@@ -8,8 +8,14 @@ Timely / Late / Unused / Polluting / Pending lifecycle split, and the
 derived accuracy / timeliness ratios with late-by percentiles — the same
 quantities as the paper's Table III / Fig. 4 discussion.
 
+Also summarizes the cycle-loop self-profiler when present
+(docs/OBSERVABILITY.md): "row_type":"profile_summary" rows from a bench's
+"*.profile.jsonl" sidecar, and "host_us_per_phase" counter tracks inside
+a --trace Chrome-trace file, both printed as per-phase host-time shares.
+
 Usage:
-    tools/trace_summary.py out/fig13.jsonl [more.jsonl ...]
+    tools/trace_summary.py out/fig13.jsonl [fig13.profile.jsonl ...]
+    tools/trace_summary.py out/trace.json
 
 Only the standard library is used.
 """
@@ -19,22 +25,63 @@ import sys
 
 OUTCOMES = ("timely", "late", "unused", "polluting", "pending")
 SOURCES = ("fdip", "udp_extra", "eip", "stream")
+PHASES = ("fetch", "bpred", "icache", "prefetch", "backend", "other")
 
 
-def load_summaries(paths):
-    """Yield telemetry_summary rows; tolerate a truncated final line."""
+def profiles_from_trace(doc):
+    """Per-job phase seconds from a Chrome trace's self_profile tracks."""
+    names = {}
+    phase_us = {}
+    for ev in doc.get("traceEvents", []):
+        pid = ev.get("pid")
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            names[pid] = ev.get("args", {}).get("name", f"pid{pid}")
+        elif ev.get("ph") == "C" and ev.get("name") == "host_us_per_phase":
+            acc = phase_us.setdefault(pid, dict.fromkeys(PHASES, 0.0))
+            for p in PHASES:
+                acc[p] += float(ev.get("args", {}).get(p, 0.0))
+    for pid in sorted(phase_us):
+        sec = {p: us / 1e6 for p, us in phase_us[pid].items()}
+        yield {"name": names.get(pid, f"pid{pid}"), "phase_sec": sec,
+               "cycles": None}
+
+
+def load_inputs(paths):
+    """Split inputs into telemetry_summary rows and profile entries.
+
+    Accepts telemetry/profile JSONL artifacts and --trace Chrome-trace
+    files in any order; tolerates a truncated final JSONL line.
+    """
+    telemetry, profiles = [], []
     for path in paths:
         with open(path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    row = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # crash-safe artifacts may end mid-line
-                if row.get("row_type") == "telemetry_summary":
-                    yield row
+            text = fh.read()
+        if '"traceEvents"' in text:
+            try:
+                profiles.extend(profiles_from_trace(json.loads(text)))
+            except json.JSONDecodeError:
+                print(f"warning: {path}: unparseable trace, skipped",
+                      file=sys.stderr)
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # crash-safe artifacts may end mid-line
+            kind = row.get("row_type")
+            if kind == "telemetry_summary":
+                telemetry.append(row)
+            elif kind == "profile_summary":
+                name = (f"{row.get('workload', '?')}/"
+                        f"{row.get('config', '?')}")
+                sec = {p: float(row.get(f"phase_{p}_sec", 0.0))
+                       for p in PHASES}
+                profiles.append({"name": name, "phase_sec": sec,
+                                 "cycles": row.get("cycles")})
+    return telemetry, profiles
 
 
 def pct(num, den):
@@ -45,16 +92,41 @@ def fmt_row(cells, widths):
     return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
 
 
+def print_profiles(profiles):
+    """Table of per-phase host-time shares from the self-profiler."""
+    print("self-profiler host time by phase:")
+    header = ["job", "host_sec"] + [f"{p}%" for p in PHASES]
+    table = [header]
+    for e in profiles:
+        total = sum(e["phase_sec"].values())
+        table.append([
+            e["name"],
+            f"{total:.3f}",
+            *(f"{pct(e['phase_sec'][p], total):.1f}" for p in PHASES),
+        ])
+    widths = [max(len(str(row[i])) for row in table)
+              for i in range(len(header))]
+    print(fmt_row(table[0], widths))
+    print("  ".join("-" * w for w in widths))
+    for row in table[1:]:
+        print(fmt_row(row, widths))
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
 
-    rows = list(load_summaries(argv[1:]))
-    if not rows:
-        print("no telemetry_summary rows found (run a bench with "
-              "--interval-stats; see docs/TELEMETRY.md)", file=sys.stderr)
+    rows, profiles = load_inputs(argv[1:])
+    if not rows and not profiles:
+        print("no telemetry_summary / profile_summary rows or profiler "
+              "trace tracks found (run a bench with --interval-stats or "
+              "--profile; see docs/TELEMETRY.md and docs/OBSERVABILITY.md)",
+              file=sys.stderr)
         return 1
+    if not rows:
+        print_profiles(profiles)
+        return 0
 
     header = ["workload", "config", "issued"] + list(OUTCOMES) + [
         "acc%", "timely%", "late_p50", "late_p90", "late_p99"]
@@ -94,6 +166,10 @@ def main(argv):
                 if int(r.get(f"pf_issued_{s}", 0)))
             print(f"  {r.get('workload', '?')}/{r.get('config', '?')}: "
                   f"{parts}")
+
+    if profiles:
+        print()
+        print_profiles(profiles)
     return 0
 
 

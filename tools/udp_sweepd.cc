@@ -26,6 +26,7 @@
 #include <unistd.h>
 #endif
 
+#include "obs/eventlog.h"
 #include "sim/sweep.h"
 #include "sim/sweepd.h"
 #include "sim/wire.h"
@@ -53,7 +54,8 @@ usage(const char* argv0)
         stderr,
         "usage: %s --spec FILE (--listen tcp:HOST:PORT | --queue DIR | "
         "--serial)\n"
-        "  [--json PATH] [--csv PATH] [--manifest PATH] [--resume]\n"
+        "  [--name S] [--json PATH] [--csv PATH] [--manifest PATH] "
+        "[--resume]\n"
         "  [--shard-dir DIR] [--workers N] [--lease-sec X] "
         "[--max-attempts N]\n"
         "  [--backoff-base-sec X] [--straggler-sec X] [--poll-sec X] "
@@ -80,6 +82,7 @@ readFile(const std::string& path, std::string* out)
 struct Args
 {
     std::string specPath;
+    std::string name;     ///< status-surface name (default: spec name)
     std::string endpoint; ///< --listen or --queue
     bool serial = false;
     std::string jsonPath;
@@ -189,6 +192,8 @@ main(int argc, char** argv)
         };
         if (arg == "--spec") {
             a.specPath = val();
+        } else if (arg == "--name") {
+            a.name = val();
         } else if (arg == "--listen" || arg == "--queue") {
             a.endpoint = val();
         } else if (arg == "--serial") {
@@ -255,8 +260,10 @@ main(int argc, char** argv)
         return 2;
     }
     if (!a.quiet) {
-        std::fprintf(stderr, "[sweepd] spec \"%s\": %zu job(s)\n",
-                     spec.name.c_str(), jobs.size());
+        obs::Event(obs::LogLevel::Info, "sweepd", "spec_loaded")
+            .str("spec", spec.name)
+            .u64("jobs", jobs.size())
+            .emit();
     }
 
     if (a.serial) {
@@ -278,6 +285,7 @@ main(int argc, char** argv)
     wire::installSigpipeIgnore();
 
     CoordinatorOptions co;
+    co.name = a.name.empty() ? spec.name : a.name;
     co.policy = a.policy;
     co.endpoint = a.endpoint;
     co.specJson = specJson;
@@ -293,8 +301,10 @@ main(int argc, char** argv)
         return 2;
     }
     if (!a.quiet) {
-        std::fprintf(stderr, "[sweepd] serving at %s\n",
-                     coord.endpoint().c_str());
+        obs::Event(obs::LogLevel::Info, "sweepd", "serving")
+            .str("endpoint", coord.endpoint())
+            .str("hint", "watch with udp_top " + coord.endpoint())
+            .emit();
     }
 
     g_coordinator = &coord;

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/eventlog.h"
 #include "sim/sweep.h"
 #include "sim/sweepd.h"
 #include "sim/wire.h"
@@ -113,18 +114,22 @@ main(int argc, char** argv)
         return 2;
     }
     if (!wo.quiet) {
-        std::fprintf(stderr, "[%s] joined sweep \"%s\" (%zu jobs)\n",
-                     wo.name.c_str(), spec.name.c_str(), jobs.size());
+        obs::Event(obs::LogLevel::Info, wo.name, "joined")
+            .str("sweep", spec.name)
+            .u64("jobs", jobs.size())
+            .emit();
     }
 
     WorkerSummary s = runSweepWorker(*queue, jobs, wo);
     if (!wo.quiet) {
-        std::fprintf(stderr,
-                     "[%s] done: %zu executed, %zu recorded, %zu "
-                     "failed, %zu duplicate(s), %zu flushed locally%s\n",
-                     wo.name.c_str(), s.executed, s.completed, s.failures,
-                     s.duplicates, s.flushedLocal,
-                     s.queueLost ? " (queue lost)" : "");
+        obs::Event(obs::LogLevel::Info, wo.name, "done")
+            .u64("executed", s.executed)
+            .u64("recorded", s.completed)
+            .u64("failed", s.failures)
+            .u64("duplicates", s.duplicates)
+            .u64("flushed_local", s.flushedLocal)
+            .str("queue", s.queueLost ? "lost" : "ok")
+            .emit();
     }
     return s.queueLost ? 3 : 0;
 }
